@@ -1,0 +1,29 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark prints its paper-style table through ``show`` (which
+bypasses pytest's capture so the rows land in the terminal / tee'd
+output), then times the experiment body under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import format_table
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table (or raw lines) through pytest's output capture."""
+
+    def _show(title, headers=None, rows=None, lines=()):
+        with capsys.disabled():
+            print()
+            if headers is not None:
+                print(format_table(title, headers, rows))
+            else:
+                print(title)
+            for line in lines:
+                print(line)
+
+    return _show

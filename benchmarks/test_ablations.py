@@ -1,0 +1,208 @@
+"""Ablations A1-A4: the design choices DESIGN.md calls out.
+
+A1 — node-program memoization (section 4.6): hit rate and reads saved
+     under a read-mostly workload with periodic invalidating writes.
+A2 — streaming partitioning (section 4.6): edge cut of hash vs LDG vs
+     restreaming LDG.
+A3 — shard-side caching of oracle decisions (section 4.2): oracle
+     messages saved by the cache.
+A4 — NOP period (section 4.2): node-program delay vs heartbeat traffic.
+"""
+
+import pytest
+
+from repro.bench import harness
+from repro.sim.clock import MSEC, USEC
+
+
+def test_a1_program_caching(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: harness.ablation_caching(
+            num_blocks=8, queries=150, write_every=25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A1: node-program memoization (block-render workload)",
+        ["metric", "value"],
+        [
+            ("cold-equivalent vertex reads", result.cold_reads),
+            ("actual vertex reads", result.cached_reads),
+            ("reads saved", f"{result.reads_saved_fraction:.1%}"),
+            ("cache hit rate", f"{result.hit_rate:.1%}"),
+            ("invalidations", result.invalidations),
+        ],
+    )
+    assert result.hit_rate > 0.3
+    assert result.reads_saved_fraction > 0.3
+    assert result.invalidations > 0  # writes really do invalidate
+
+
+def test_a2_partitioning(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: harness.ablation_partitioning(num_vertices=800),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A2: streaming partitioners (8 partitions, power-law graph)",
+        ["partitioner", "edge cut", "balance (1.0 ideal)"],
+        [
+            (name, f"{cut:.1%}", round(bal, 3))
+            for name, cut, bal in result.rows()
+        ],
+    )
+    assert result.cut_of("ldg") < result.cut_of("hash")
+    assert result.cut_of("restream") <= result.cut_of("ldg")
+
+
+def test_a3_oracle_decision_cache(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: harness.ablation_oracle_cache(num_pairs=300, reuse=4),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A3: shard-side oracle-decision cache",
+        ["configuration", "oracle messages"],
+        [
+            ("cache enabled", result.with_cache_oracle_messages),
+            ("cache disabled", result.without_cache_oracle_messages),
+        ],
+        lines=[f"messages saved: {result.messages_saved_fraction:.1%}"],
+    )
+    assert result.messages_saved_fraction > 0.5
+
+
+def test_a5_adaptive_tau(benchmark, show):
+    """Section 3.5's dynamic τ: started at either extreme, the feedback
+    controller moves the announce period toward the Fig 14 crossover."""
+
+    def run_both():
+        high = harness.ablation_adaptive_tau(start_tau=8 * MSEC)
+        low = harness.ablation_adaptive_tau(start_tau=50 * USEC)
+        return high, low
+
+    high, low = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    show(
+        "A5: adaptive announce period (section 3.5)",
+        ["start tau (s)", "final tau (s)"],
+        [
+            (f"{high.start_tau:g}", f"{high.final_tau:g}"),
+            (f"{low.start_tau:g}", f"{low.final_tau:g}"),
+        ],
+        lines=[
+            "trajectory from high: "
+            + " -> ".join(f"{t:g}" for t in high.trajectory[:8]),
+            "trajectory from low:  "
+            + " -> ".join(f"{t:g}" for t in low.trajectory[:8]),
+        ],
+    )
+    assert high.final_tau < high.start_tau    # came down from the top
+    assert low.final_tau >= low.start_tau     # did not dive further down
+    # Both endpoints land within an order of magnitude of each other.
+    assert max(high.final_tau, low.final_tau) <= 16 * min(
+        high.final_tau, low.final_tau
+    )
+
+
+def test_a6_occ_contention(benchmark, show):
+    """OCC abort rate vs write skew — why long reads don't use OCC."""
+    result = benchmark.pedantic(
+        lambda: harness.ablation_contention(),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A6: OCC abort rate vs Zipf write skew",
+        ["skew s", "abort rate"],
+        [(s, f"{rate:.1%}") for s, rate in result.rows()],
+    )
+    rates = [rate for _, rate in result.rows()]
+    assert rates[-1] > rates[0]
+
+
+def test_a7_freshness_vs_kineograph(benchmark, show):
+    """Update-visibility lag: refinable timestamps vs epoch snapshots."""
+    result = benchmark.pedantic(
+        lambda: harness.ablation_freshness(),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A7: update-visibility lag (s), Weaver vs Kineograph",
+        ["epoch interval", "Kineograph mean lag", "Weaver lag"],
+        [
+            (interval, round(kg, 3), f"{weaver:.4f}")
+            for interval, kg, weaver in result.rows()
+        ],
+    )
+    for interval, kg_lag, weaver_lag in result.rows():
+        assert kg_lag == pytest.approx(interval / 2, rel=0.25)
+        assert weaver_lag < kg_lag / 50
+
+
+def test_a9_online_rebalance(benchmark, show):
+    """Dynamic colocation: edge cut before/after live migration."""
+    result = benchmark.pedantic(
+        lambda: harness.ablation_rebalance(),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A9: online vertex migration (section 4.6)",
+        ["metric", "value"],
+        [
+            ("edges", result.total_edges),
+            ("cut before", result.cut_before),
+            ("cut after", result.cut_after),
+            ("migrations", result.moves),
+            ("cut reduction", f"{result.improvement:.1%}"),
+        ],
+    )
+    assert result.moves > 0
+    assert result.cut_after < result.cut_before
+
+
+def test_a8_store_linear_transactions(benchmark, show):
+    """Chain length of Warp-style commits vs keys per transaction."""
+    result = benchmark.pedantic(
+        lambda: harness.ablation_store_chains(),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A8: distributed-store linear transactions (8 nodes, r=2)",
+        ["keys/tx", "mean chain length", "messages/commit"],
+        [
+            (k, round(chain, 2), round(msgs, 2))
+            for k, chain, msgs in result.rows()
+        ],
+    )
+    chains = [chain for _, chain, _ in result.rows()]
+    assert chains == sorted(chains)         # grows with keys touched
+    assert chains[-1] <= 8                  # saturates at the node count
+
+
+def test_a4_nop_period(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: harness.ablation_nop_period(
+            periods=(10 * USEC, 100 * USEC, 1 * MSEC, 10 * MSEC)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "A4: NOP heartbeat period tradeoff",
+        ["period (s)", "expected program delay (s)", "heartbeats/s"],
+        [
+            (f"{p:g}", f"{d:.6f}", round(m))
+            for p, d, m in result.rows()
+        ],
+    )
+    rows = result.rows()
+    delays = [d for _, d, _ in rows]
+    messages = [m for _, _, m in rows]
+    assert delays == sorted(delays)
+    assert messages == sorted(messages, reverse=True)

@@ -1,0 +1,61 @@
+"""Fig 10: transaction latency CDFs on the social-network workload.
+
+Paper's claims: Weaver's node programs (reads) have lower latency than
+its write transactions (writes also commit on the backing store); Titan's
+heavyweight locking pushes even reads to tens of milliseconds; Weaver
+beats Titan for all reads and most writes.
+"""
+
+from repro.bench import harness
+from repro.bench.report import format_series
+
+
+def run_experiment():
+    return harness.experiment_fig10(total_ops=6_000)
+
+
+def test_fig10_latency_cdfs(benchmark, show):
+    runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for fraction, run in sorted(runs.items(), reverse=True):
+        label = f"{fraction:.1%} reads"
+        rows.append(
+            (
+                f"Weaver ({label})",
+                round(run.weaver_latencies.median * 1000, 2),
+                round(run.weaver_latencies.quantile(99) * 1000, 2),
+            )
+        )
+        rows.append(
+            (
+                f"Titan ({label})",
+                round(run.titan_latencies.median * 1000, 2),
+                round(run.titan_latencies.quantile(99) * 1000, 2),
+            )
+        )
+    show(
+        "Fig 10: transaction latency on the LiveJournal-like graph",
+        ["system (workload)", "p50 (ms)", "p99 (ms)"],
+        rows,
+        lines=[
+            format_series(
+                "Weaver 99.8% CDF (s, frac)",
+                runs[0.998].weaver_latencies.cdf(points=8),
+            ),
+            format_series(
+                "Titan 99.8% CDF (s, frac)",
+                runs[0.998].titan_latencies.cdf(points=8),
+            ),
+        ],
+    )
+    tao = runs[0.998]
+    mixed = runs[0.75]
+    # Reads faster than writes in Weaver.
+    assert (
+        tao.weaver_read_latencies.mean < tao.weaver_write_latencies.mean
+    )
+    # Weaver below Titan at every quantile on the read-heavy mix.
+    for q in (50, 90, 99):
+        assert tao.weaver_latencies.quantile(q) < tao.titan_latencies.quantile(q)
+    # And at the median on the mixed workload.
+    assert mixed.weaver_latencies.median < mixed.titan_latencies.median

@@ -1,0 +1,31 @@
+"""Fig 13: clustering-coefficient throughput scales linearly with shards.
+
+Paper's claim: local clustering coefficient programs fan out one hop and
+return, so shard servers do the bulk of the work; adding shards (with
+gatekeepers fixed) yields linear throughput growth, ~18k tx/s at 9
+shards on their hardware.
+"""
+
+from repro.bench import harness
+
+SHARD_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+
+
+def run_experiment():
+    return harness.experiment_fig13(
+        shard_counts=SHARD_COUNTS, ops=4_000, clients=64
+    )
+
+
+def test_fig13_shard_scaling(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(
+        "Fig 13: clustering-coefficient throughput vs shard count",
+        ["shards", "tx/s"],
+        [(n, round(t)) for n, t in result.rows()],
+        lines=[f"linearity (1.0 = ideal): {result.linearity:.3f}"],
+    )
+    throughputs = [t for _, t in result.rows()]
+    assert throughputs == sorted(throughputs)
+    assert result.linearity > 0.85
+    assert throughputs[-1] / throughputs[0] > 6

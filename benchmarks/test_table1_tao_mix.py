@@ -1,0 +1,66 @@
+"""Table 1: the TAO operation mix driving the Fig 9/10 benchmarks.
+
+This bench validates the workload generator against the paper's
+published distribution and reports the mix a long stream actually
+produces, plus a functional end-to-end run of the mix on a live Weaver.
+"""
+
+from repro.bench import harness  # noqa: F401  (keeps import graph warm)
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.workloads import graphs
+from repro.workloads.runner import run_tao
+from repro.workloads.tao import TaoWorkload
+
+PAPER_MIX = {
+    "get_edges": 0.5938,   # 59.4% of 99.8%
+    "count_edges": 0.1168,
+    "get_node": 0.2884,
+    "create_edge": 0.0016,  # 80% of 0.2%
+    "delete_edge": 0.0004,
+}
+
+
+def run_experiment():
+    workload = TaoWorkload([f"v{i}" for i in range(100)], seed=1)
+    counts = {}
+    n = 40_000
+    for op in workload.stream(n):
+        counts[op[0]] = counts.get(op[0], 0) + 1
+    return {k: v / n for k, v in counts.items()}
+
+
+def test_table1_mix_matches_paper(benchmark, show):
+    mix = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(
+        "Table 1: TAO operation mix (fraction of all operations)",
+        ["operation", "paper", "generated"],
+        [
+            (op, PAPER_MIX[op], round(mix.get(op, 0.0), 4))
+            for op in PAPER_MIX
+        ],
+    )
+    for op, expected in PAPER_MIX.items():
+        assert abs(mix.get(op, 0.0) - expected) < 0.02
+
+
+def test_table1_functional_replay(show):
+    """The generated mix actually runs against a live deployment."""
+    db = Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+    client = WeaverClient(db)
+    edges = graphs.social_graph(100, 4, seed=2)
+    handles = graphs.load_into_weaver(client, edges)
+    pool = [(k.split("->", 1)[0], h) for k, h in handles.items()]
+    workload = TaoWorkload(
+        graphs.vertices_of(edges), edge_pool=pool, seed=2
+    )
+    report = run_tao(client, workload, 300)
+    show(
+        "Table 1 functional replay",
+        ["metric", "value"],
+        [
+            ("operations", report.operations),
+            ("failures", report.failures),
+            ("reactive fraction", f"{report.reactive_fraction:.5f}"),
+        ],
+    )
+    assert report.failures == 0

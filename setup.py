@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``pip install -e . --no-use-pep517`` on machines without the
+``wheel`` package (this environment is offline); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

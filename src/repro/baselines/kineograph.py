@@ -1,0 +1,152 @@
+"""A Kineograph-like baseline: epoch-based snapshot graph store.
+
+Kineograph [15] (discussed in the paper's related work) decouples
+updates from queries: incoming updates are buffered and applied in bulk
+at the end of fixed **epochs** (10 seconds in the original system), and
+queries always execute against the last *completed* snapshot.  Queries
+are therefore cheap and never block on writers — but they read stale
+data, up to a full epoch old, and a client cannot read its own writes
+until the epoch turns.
+
+The paper contrasts this with refinable timestamps, which give
+low-latency updates *and* queries on the latest consistent version.
+The freshness ablation (A7) quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+Op = Tuple  # same op tuples as the Titan baseline
+
+
+class _Snapshot:
+    __slots__ = ("epoch", "vertices")
+
+    def __init__(self, epoch: int, vertices: Dict[str, dict]):
+        self.epoch = epoch
+        self.vertices = vertices
+
+
+class Kineograph:
+    """Epoch-snapshot store: buffered updates, stale consistent reads."""
+
+    def __init__(self, epoch_interval: float = 10.0):
+        if epoch_interval <= 0:
+            raise ValueError("epoch interval must be positive")
+        self.epoch_interval = epoch_interval
+        self._live: Dict[str, dict] = {}
+        self._buffer: List[Tuple[float, Op]] = []
+        self._snapshot = _Snapshot(0, {})
+        self._epoch = 0
+        self._last_epoch_at = 0.0
+        self.updates_received = 0
+        self.queries_served = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def snapshot_epoch(self) -> int:
+        return self._snapshot.epoch
+
+    # -- updates (buffered until the epoch turns) -----------------------
+
+    def update(self, op: Op, now: float) -> None:
+        """Accept one graph update; it becomes visible at the next epoch
+        boundary after ``now``."""
+        self._maybe_advance(now)
+        self._buffer.append((now, op))
+        self.updates_received += 1
+
+    def _apply(self, op: Op) -> None:
+        kind = op[0]
+        if kind == "create_vertex":
+            self._live.setdefault(op[1], {"props": {}, "edges": {}})
+        elif kind == "delete_vertex":
+            self._live.pop(op[1], None)
+        elif kind == "create_edge":
+            _, handle, src, dst = op
+            if src in self._live:
+                self._live[src]["edges"][handle] = dst
+        elif kind == "delete_edge":
+            _, src, handle = op
+            if src in self._live:
+                self._live[src]["edges"].pop(handle, None)
+        elif kind == "set_vertex_property":
+            _, handle, key, value = op
+            if handle in self._live:
+                self._live[handle]["props"][key] = value
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+
+    def _maybe_advance(self, now: float) -> None:
+        while now - self._last_epoch_at >= self.epoch_interval:
+            self._last_epoch_at += self.epoch_interval
+            self._advance_epoch(self._last_epoch_at)
+
+    def _advance_epoch(self, boundary: float) -> None:
+        """Apply all updates received before the boundary; publish a new
+        consistent snapshot."""
+        ready = [op for ts, op in self._buffer if ts < boundary]
+        self._buffer = [
+            (ts, op) for ts, op in self._buffer if ts >= boundary
+        ]
+        for op in ready:
+            self._apply(op)
+        self._epoch += 1
+        self._snapshot = _Snapshot(
+            self._epoch,
+            {
+                h: {
+                    "props": dict(rec["props"]),
+                    "edges": dict(rec["edges"]),
+                }
+                for h, rec in self._live.items()
+            },
+        )
+
+    def force_epoch(self, now: float) -> None:
+        """Advance to ``now`` (testing hook; the timer does this live)."""
+        self._maybe_advance(now)
+
+    # -- queries (on the last completed snapshot) -----------------------
+
+    def get_node(self, handle: str, now: float) -> Optional[Dict[str, Any]]:
+        self._maybe_advance(now)
+        self.queries_served += 1
+        record = self._snapshot.vertices.get(handle)
+        if record is None:
+            return None
+        return {
+            "handle": handle,
+            "properties": dict(record["props"]),
+            "out_degree": len(record["edges"]),
+        }
+
+    def reachable(self, src: str, dst: str, now: float) -> bool:
+        self._maybe_advance(now)
+        self.queries_served += 1
+        vertices = self._snapshot.vertices
+        if src not in vertices:
+            return False
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for handle in frontier:
+                if handle == dst:
+                    return True
+                for nbr in vertices[handle]["edges"].values():
+                    if nbr not in seen and nbr in vertices:
+                        seen.add(nbr)
+                        nxt.append(nbr)
+            frontier = nxt
+        return dst in seen
+
+    def visibility_lag(self, update_time: float) -> float:
+        """When an update at ``update_time`` becomes query-visible: the
+        next epoch boundary strictly after it."""
+        boundaries_passed = int(update_time / self.epoch_interval) + 1
+        return boundaries_passed * self.epoch_interval - update_time

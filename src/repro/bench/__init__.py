@@ -1,0 +1,26 @@
+"""Benchmark harness: cost models, metrics, and per-figure experiments."""
+
+from .costmodel import ClosedLoop, ClosedLoopResult, CostParams, LockTable, Resource
+from .metrics import LatencyRecorder, percentile, throughput
+from .models import CoinGraphModel, WeaverModel
+from .report import format_series, format_table, print_table, ratio_check
+
+# NOTE: `repro.bench.harness` is imported on demand (it depends on the
+# baselines, which themselves use the cost models defined here).
+__all__ = [
+    "ClosedLoop",
+    "ClosedLoopResult",
+    "CostParams",
+    "LockTable",
+    "Resource",
+    "LatencyRecorder",
+    "percentile",
+    "throughput",
+    "CoinGraphModel",
+    "WeaverModel",
+    "format_series",
+    "format_table",
+    "print_table",
+    "ratio_check",
+    "harness",
+]

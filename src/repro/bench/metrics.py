@@ -1,0 +1,96 @@
+"""Latency/throughput metrics: percentiles, CDFs, summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data, p in [0, 100]."""
+    if not sorted_values:
+        raise ValueError("no data")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100) * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+class LatencyRecorder:
+    """Accumulates per-operation latencies and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("negative latency")
+        self._samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        for value in latencies:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def quantile(self, p: float) -> float:
+        return percentile(sorted(self._samples), p)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(99)
+
+    def summary(self) -> Dict[str, float]:
+        if not self._samples:
+            return {"count": 0}
+        data = sorted(self._samples)
+        return {
+            "count": len(data),
+            "mean": self.mean,
+            "p50": percentile(data, 50),
+            "p90": percentile(data, 90),
+            "p99": percentile(data, 99),
+            "max": data[-1],
+        }
+
+    def cdf(self, points: int = 50) -> List[Tuple[float, float]]:
+        """(latency, cumulative fraction) pairs — the Fig 10/11 curves."""
+        if not self._samples:
+            return []
+        data = sorted(self._samples)
+        n = len(data)
+        step = max(1, n // points)
+        curve = [
+            (data[i], (i + 1) / n) for i in range(0, n, step)
+        ]
+        if curve[-1] != (data[-1], 1.0):
+            curve.append((data[-1], 1.0))
+        return curve
+
+
+def throughput(ops: int, makespan_seconds: float) -> float:
+    if makespan_seconds <= 0:
+        return 0.0
+    return ops / makespan_seconds

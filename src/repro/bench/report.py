@@ -1,0 +1,84 @@
+"""ASCII reporting: the tables and series the benchmark harness prints.
+
+Every figure benchmark prints its data through these helpers so the
+output reads like the paper's tables — one row per parameter point, with
+a paper-claim column alongside the measured one where applicable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> str:
+    """Render a titled, column-aligned ASCII table."""
+    string_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in string_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> None:
+    print()
+    print(format_table(title, headers, rows))
+    print()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_series(name: str, points: Iterable[Sequence[Any]]) -> str:
+    """A compact "x -> y" series line, for CDF-style data."""
+    parts = [
+        f"({', '.join(_fmt(v) for v in point)})" for point in points
+    ]
+    return f"{name}: " + " ".join(parts)
+
+
+def ratio_check(
+    label: str, measured: float, paper: float, tolerance: float = 0.5
+) -> str:
+    """One-line paper-vs-measured comparison.
+
+    ``tolerance`` is the acceptable relative deviation of the measured
+    ratio from the paper's (shape reproduction, not absolute equality).
+    """
+    if paper > 0:
+        deviation = abs(measured - paper) / paper
+        verdict = "OK" if deviation <= tolerance else "DIFFERS"
+    else:
+        verdict = "n/a"
+    return (
+        f"{label}: paper={paper:g}x measured={measured:.2f}x [{verdict}]"
+    )

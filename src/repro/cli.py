@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — version and deployment defaults;
+* ``demo`` — a one-minute tour of the API (transactions, traversals,
+  historical queries, failover);
+* ``bench --figure fig7`` — regenerate one of the paper's figures (or
+  ``all``) and print its table;
+* ``tao --ops N`` — replay the Table 1 workload against a live
+  deployment and report the protocol statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench.report import format_table
+
+FIGURES = (
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+)
+
+
+def _cmd_info(args) -> int:
+    from .db.config import WeaverConfig
+
+    config = WeaverConfig()
+    rows = [
+        ("version", __version__),
+        ("paper", "Weaver (Dubey et al., PVLDB 9(11), 2016)"),
+        ("default gatekeepers", config.num_gatekeepers),
+        ("default shards", config.num_shards),
+        ("default announce cadence", config.announce_every),
+        ("oracle chain length", config.oracle_chain_length),
+    ]
+    print(format_table("repro: Weaver reproduction", ["key", "value"], rows))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .db import Weaver, WeaverClient, WeaverConfig
+
+    db = Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+    client = WeaverClient(db)
+    with client.transaction() as tx:
+        for name in ("alice", "bob", "carol"):
+            tx.create_vertex(name)
+        tx.create_edge("alice", "bob", "ab")
+        tx.create_edge("bob", "carol", "bc")
+    print("graph loaded:", client.traverse("alice"))
+    print("alice -> carol:", client.find_path("alice", "carol"))
+    point = db.checkpoint()
+    client.delete_edge("bob", "bc")
+    print("after unfollow:", client.find_path("alice", "carol"))
+    print("at the checkpoint:",
+          client.find_path("alice", "carol", at=point))
+    db.fail_shard(0)
+    print("after shard failover:", client.traverse("alice"))
+    print("ordering decisions:", db.ordering_stats())
+    return 0
+
+
+def _cmd_tao(args) -> int:
+    from .db import Weaver, WeaverClient, WeaverConfig
+    from .workloads import graphs
+    from .workloads.runner import run_tao
+    from .workloads.tao import TaoWorkload
+
+    db = Weaver(
+        WeaverConfig(
+            num_gatekeepers=3, num_shards=4, announce_every=args.announce
+        )
+    )
+    client = WeaverClient(db)
+    edges = graphs.social_graph(args.vertices, 5, seed=args.seed)
+    handles = graphs.load_into_weaver(client, edges)
+    pool = [(k.split("->", 1)[0], h) for k, h in handles.items()]
+    workload = TaoWorkload(
+        graphs.vertices_of(edges),
+        edge_pool=pool,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+    )
+    report = run_tao(client, workload, args.ops)
+    rows = [
+        ("operations", report.operations),
+        ("failures", report.failures),
+        ("reactive fraction", f"{report.reactive_fraction:.5f}"),
+    ] + sorted(report.counts.items())
+    print(format_table("TAO workload replay", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    """Run the event-driven deployment with a failure drill."""
+    from .db import operations as ops
+    from .db.config import WeaverConfig
+    from .programs import GetNode
+    from .sim.clock import MSEC, USEC
+    from .sim.deployment import SimulatedWeaver
+
+    sw = SimulatedWeaver(
+        WeaverConfig(num_gatekeepers=args.gatekeepers, num_shards=args.shards),
+        tau=args.tau * USEC,
+        nop_period=200 * USEC,
+        heartbeat_period=5 * MSEC,
+    )
+    for i in range(args.writes):
+        sw.submit_transaction(
+            [ops.CreateVertex(f"v{i}")], new_vertices=(f"v{i}",)
+        )
+        sw.run(300 * USEC)
+    sw.run(5 * MSEC)
+    print(f"[t={sw.simulator.now * 1000:.1f} ms] committed "
+          f"{sw.committed} transactions")
+    sw.crash_shard(0)
+    print(f"[t={sw.simulator.now * 1000:.1f} ms] shard0 crashed "
+          f"(silently — heartbeats just stop)")
+    sw.run(60 * MSEC)
+    print(f"[t={sw.simulator.now * 1000:.1f} ms] detector recovered it; "
+          f"epoch is now {sw.manager.epoch}")
+    box = {}
+    sw.submit_program(
+        GetNode(), "v0", None, callback=lambda r: box.update(r=r)
+    )
+    sw.run_until_quiet()
+    found = bool(box.get("r") and box["r"].results)
+    print(f"[t={sw.simulator.now * 1000:.1f} ms] post-recovery read of "
+          f"v0: {'ok' if found else 'MISSING'}")
+    print(
+        f"messages: {sw.announce_messages()} announces, "
+        f"{sw.nop_messages()} heartbeats, "
+        f"{sw.oracle_messages()} oracle"
+    )
+    return 0 if found else 1
+
+
+def _cmd_bench(args) -> int:
+    from .bench import harness
+
+    wanted = FIGURES if args.figure == "all" else (args.figure,)
+    for figure in wanted:
+        _run_figure(harness, figure)
+    return 0
+
+
+def _run_figure(harness, figure: str) -> None:
+    if figure == "fig7":
+        result = harness.experiment_fig7(functional_scale=0.01)
+        print(format_table(
+            "Fig 7: block query latency",
+            ["block", "txs", "CoinGraph (s)", "BC.info (s)", "speedup"],
+            [(h, n, round(cg, 4), round(bc, 3), round(sp, 1))
+             for h, n, cg, bc, sp in result.rows()],
+        ))
+    elif figure == "fig8":
+        result = harness.experiment_fig8()
+        print(format_table(
+            "Fig 8: block render throughput",
+            ["block", "queries/s", "vertex reads/s"],
+            [(b, round(t, 1), round(r)) for b, t, r in result.rows()],
+        ))
+    elif figure == "fig9":
+        for fraction, cw, ct in ((0.998, 50, 60), (0.75, 45, 50)):
+            run = harness.experiment_fig9(
+                fraction, cw, ct, total_ops=6000,
+                num_vertices=200, functional_ops=200,
+            )
+            print(format_table(
+                f"Fig 9: throughput at {fraction:.1%} reads",
+                ["system", "tx/s"],
+                [("Weaver", round(run.weaver_throughput)),
+                 ("Titan", round(run.titan_throughput))],
+            ))
+            print(f"speedup: {run.speedup:.1f}x; "
+                  f"reactive: {run.reactive_fraction:.5f}")
+    elif figure == "fig10":
+        runs = harness.experiment_fig10(total_ops=4000)
+        rows = []
+        for fraction, run in sorted(runs.items(), reverse=True):
+            rows.append(
+                (
+                    f"Weaver ({fraction:.1%} reads)",
+                    round(run.weaver_latencies.median * 1000, 2),
+                    round(run.weaver_latencies.quantile(99) * 1000, 2),
+                )
+            )
+            rows.append(
+                (
+                    f"Titan ({fraction:.1%} reads)",
+                    round(run.titan_latencies.median * 1000, 2),
+                    round(run.titan_latencies.quantile(99) * 1000, 2),
+                )
+            )
+        print(format_table(
+            "Fig 10: transaction latency",
+            ["system (workload)", "p50 (ms)", "p99 (ms)"],
+            rows,
+        ))
+    elif figure == "fig11":
+        result = harness.experiment_fig11()
+        print(format_table(
+            "Fig 11: traversal latency",
+            ["system", "mean (ms)"],
+            [("Weaver", round(result.weaver.mean * 1000, 3)),
+             ("GraphLab async",
+              round(result.graphlab_async.mean * 1000, 3)),
+             ("GraphLab sync",
+              round(result.graphlab_sync.mean * 1000, 3))],
+        ))
+    elif figure == "fig12":
+        result = harness.experiment_fig12()
+        print(format_table(
+            "Fig 12: gatekeeper scaling",
+            ["gatekeepers", "tx/s"],
+            [(n, round(t)) for n, t in result.rows()],
+        ))
+    elif figure == "fig13":
+        result = harness.experiment_fig13()
+        print(format_table(
+            "Fig 13: shard scaling",
+            ["shards", "tx/s"],
+            [(n, round(t)) for n, t in result.rows()],
+        ))
+    elif figure == "fig14":
+        result = harness.experiment_fig14()
+        print(format_table(
+            "Fig 14: coordination overhead vs tau",
+            ["tau (s)", "announce/query", "oracle/query"],
+            [(f"{tau:g}", round(a, 4), round(o, 4))
+             for tau, a, o in result.rows()],
+        ))
+    else:
+        raise ValueError(f"unknown figure {figure!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Weaver (VLDB 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and defaults").set_defaults(
+        func=_cmd_info
+    )
+    sub.add_parser("demo", help="a quick API tour").set_defaults(
+        func=_cmd_demo
+    )
+
+    tao = sub.add_parser("tao", help="replay the Table 1 workload")
+    tao.add_argument("--ops", type=int, default=500)
+    tao.add_argument("--vertices", type=int, default=200)
+    tao.add_argument("--read-fraction", type=float, default=0.998)
+    tao.add_argument("--announce", type=int, default=4)
+    tao.add_argument("--seed", type=int, default=42)
+    tao.set_defaults(func=_cmd_tao)
+
+    bench = sub.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument(
+        "--figure", choices=FIGURES + ("all",), default="fig7"
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="event-driven deployment with a live failure drill",
+    )
+    simulate.add_argument("--gatekeepers", type=int, default=2)
+    simulate.add_argument("--shards", type=int, default=2)
+    simulate.add_argument("--tau", type=float, default=200,
+                          help="announce period in microseconds")
+    simulate.add_argument("--writes", type=int, default=20)
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `repro info | head`).
+        import os
+
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Cluster runtime: shard servers, messages, and the cluster manager."""
+
+from .messages import (
+    AnnounceMessage,
+    Heartbeat,
+    ProgramRequest,
+    ProgramResponse,
+    QueuedTransaction,
+)
+from .shard import ShardServer, ShardStats
+from .manager import ClusterManager
+from .replica import ReadReplica
+
+__all__ = [
+    "AnnounceMessage",
+    "Heartbeat",
+    "ProgramRequest",
+    "ProgramResponse",
+    "QueuedTransaction",
+    "ShardServer",
+    "ShardStats",
+    "ClusterManager",
+    "ReadReplica",
+]

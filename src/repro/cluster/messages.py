@@ -1,0 +1,75 @@
+"""Typed messages exchanged between Weaver servers.
+
+Only the payloads that cross server boundaries live here; transport (the
+simulated network or direct calls) is supplied by the database layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from ..core.vclock import VectorTimestamp
+from ..db.operations import Operation
+
+
+@dataclass(frozen=True)
+class QueuedTransaction:
+    """A transaction (or NOP) as it sits in a shard's gatekeeper queue.
+
+    ``operations`` is empty for NOPs — the heartbeat transactions that
+    keep every queue non-empty under light load (section 4.2).  ``seqno``
+    is the FIFO sequence number on the (gatekeeper, shard) channel.
+    """
+
+    ts: VectorTimestamp
+    operations: Tuple[Operation, ...] = ()
+    seqno: Optional[int] = None
+
+    @property
+    def is_nop(self) -> bool:
+        return not self.operations
+
+    @property
+    def queue_key(self) -> Tuple[int, int]:
+        """Sort key within one gatekeeper's queue.
+
+        A single gatekeeper's timestamps are totally ordered by (epoch,
+        own counter), so per-queue priority needs no oracle.
+        """
+        return (self.ts.epoch, self.ts.local_clock)
+
+
+@dataclass(frozen=True)
+class AnnounceMessage:
+    """A gatekeeper's periodic vector-clock broadcast (section 3.3)."""
+
+    src: int
+    vector: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ProgramRequest:
+    """A node program dispatched to a shard (section 4.1)."""
+
+    ts: VectorTimestamp
+    query_id: int
+    vertices: Tuple[Tuple[str, Any], ...]  # (vertex handle, prog params)
+
+
+@dataclass
+class ProgramResponse:
+    """What one shard round of a node program produced."""
+
+    query_id: int
+    next_hops: List[Tuple[str, Any]] = field(default_factory=list)
+    emitted: List[Any] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Server liveness report to the cluster manager (section 3.2)."""
+
+    server: str
+    epoch: int
+    sent_at: float

@@ -1,0 +1,84 @@
+"""Read-only shard replicas: weaker consistency for read scaling.
+
+Section 6.4 notes that applications can gain "additional, arbitrary
+scalability ... by configuring read-only replicas of shard servers if
+weaker consistency is acceptable, similar to TAO".  A
+:class:`ReadReplica` serves vertex-local reads from a frozen snapshot
+of its primary's multi-version graph: reads never consult the ordering
+machinery (no oracle, no queue waits) but may be stale until the next
+``refresh()`` — exactly TAO's eventual-consistency regime, and exactly
+the staleness the paper's section 5.4 warns about, which is why it is
+strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.vclock import VectorTimestamp
+from ..errors import NoSuchVertex
+from ..graph.mvgraph import SnapshotView
+from .shard import ShardServer
+
+
+class ReadReplica:
+    """An eventually-consistent read-only view of one shard."""
+
+    def __init__(self, primary: ShardServer):
+        self._primary = primary
+        self._snapshot_ts: Optional[VectorTimestamp] = None
+        self.refreshes = 0
+        self.reads_served = 0
+
+    @property
+    def primary(self) -> ShardServer:
+        return self._primary
+
+    @property
+    def snapshot_timestamp(self) -> Optional[VectorTimestamp]:
+        return self._snapshot_ts
+
+    def refresh(self, ts: VectorTimestamp) -> None:
+        """Advance the replica to the primary's state as of ``ts``.
+
+        In the real system this would ship a log segment; here the
+        multi-version graph already holds every version, so advancing
+        the frozen timestamp is sufficient and exact.
+        """
+        self._snapshot_ts = ts
+        self.refreshes += 1
+
+    def _view(self) -> SnapshotView:
+        if self._snapshot_ts is None:
+            raise NoSuchVertex("replica never refreshed")
+        return self._primary.graph.at(self._snapshot_ts)
+
+    # -- TAO-style read operations (no ordering, possibly stale) ---------
+
+    def get_node(self, handle: str) -> Dict[str, Any]:
+        self.reads_served += 1
+        vertex = self._view().vertex(handle)
+        return {
+            "handle": vertex.handle,
+            "properties": vertex.properties(),
+            "out_degree": vertex.out_degree(),
+        }
+
+    def get_edges(self, handle: str) -> List[Dict[str, Any]]:
+        self.reads_served += 1
+        return [
+            {
+                "handle": edge.handle,
+                "nbr": edge.nbr,
+                "properties": edge.properties(),
+            }
+            for edge in self._view().vertex(handle).neighbors
+        ]
+
+    def count_edges(self, handle: str) -> int:
+        self.reads_served += 1
+        return self._view().vertex(handle).out_degree()
+
+    def has_vertex(self, handle: str) -> bool:
+        self.reads_served += 1
+        return self._view().has_vertex(handle)

@@ -1,0 +1,337 @@
+"""The timeline oracle: reactive, fine-grained event ordering (section 3.4).
+
+The oracle keeps a dependency graph whose vertices are *events* (one per
+transaction or node program, identified by its unique vector timestamp) and
+whose directed edges are happens-before commitments.  It answers two kinds
+of requests from shard servers:
+
+* ``query_order(a, b)`` — return a pre-established order, if one exists.
+  Pre-established orders include explicit commitments, their transitive
+  closure, and edges implied by the vector clocks themselves (the paper's
+  example: having committed <0,1> < <1,0>, a query for (<0,1>, <2,0>) is
+  answered from <0,1> < <1,0> < <2,0>).
+* ``order(a, b, prefer)`` — return the established order or, if none
+  exists, commit a new one.  Ordering decisions are irreversible and
+  monotonic: once made they hold for every subsequent query from every
+  shard.  The oracle refuses any request that would create a cycle.
+
+The production system chain-replicates the oracle for fault tolerance
+(Kronos [20]); :class:`ReplicatedOracle` models that: updates enter at the
+head and flow down the chain, reads may be served by any replica, and the
+chain survives the loss of any proper subset of replicas.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..errors import CycleError, OrderingError
+from .vclock import Ordering, VectorTimestamp
+
+EventId = Tuple[int, int, int]
+
+
+class EventDependencyGraph:
+    """A DAG of events with reachability that honors vector-clock edges.
+
+    Explicit edges are commitments made by :meth:`add_order`.  In addition,
+    for any two registered events ``x`` and ``y`` with ``x`` vector-clock-
+    before ``y``, an implicit edge ``x -> y`` exists.  Reachability (and
+    therefore cycle detection) runs over the union of both edge sets, so a
+    commitment can never contradict either an earlier commitment or the
+    vector clocks.
+    """
+
+    def __init__(self) -> None:
+        self._events: Dict[EventId, VectorTimestamp] = {}
+        self._succ: Dict[EventId, Set[EventId]] = {}
+        self._pred: Dict[EventId, Set[EventId]] = {}
+        # Events with at least one explicit out-edge.  Reachability only
+        # needs to expand *implied* (vector-clock) hops into these:
+        # consecutive implied hops collapse into one (happens-before is
+        # transitive), so an implied hop that is not the final step must
+        # land on an event that continues explicitly.
+        self._has_out: Set[EventId] = set()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, ts: VectorTimestamp) -> bool:
+        return ts.id in self._events
+
+    @property
+    def events(self) -> Iterable[VectorTimestamp]:
+        return self._events.values()
+
+    def add_event(self, ts: VectorTimestamp) -> bool:
+        """Register an event; returns False if it already existed."""
+        if ts.id in self._events:
+            return False
+        self._events[ts.id] = ts
+        self._succ[ts.id] = set()
+        self._pred[ts.id] = set()
+        return True
+
+    def has_edge(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
+        return b.id in self._succ.get(a.id, ())
+
+    def reaches(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
+        """True iff a path a -> ... -> b exists over explicit or implied
+        edges."""
+        if a.id not in self._events or b.id not in self._events:
+            return False
+        if a.happens_before(b):
+            return True
+        seen: Set[EventId] = {a.id}
+        frontier = deque([a.id])
+        while frontier:
+            current = self._events[frontier.popleft()]
+            if current.happens_before(b):
+                return True
+            for succ_id in self._succ[current.id]:
+                if succ_id == b.id:
+                    return True
+                if succ_id not in seen:
+                    seen.add(succ_id)
+                    frontier.append(succ_id)
+            # Implied successors: only events that continue explicitly
+            # matter (an implied hop ending the path was handled by the
+            # happens_before(b) check above; implied-then-implied
+            # collapses into one implied hop by transitivity).
+            for other_id in self._has_out:
+                if other_id in seen:
+                    continue
+                if current.happens_before(self._events[other_id]):
+                    seen.add(other_id)
+                    frontier.append(other_id)
+        return False
+
+    def add_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
+        """Commit a happens-before edge a -> b, refusing cycles."""
+        if a.id == b.id:
+            raise CycleError(f"cannot order an event before itself: {a}")
+        for ts in (a, b):
+            if ts.id not in self._events:
+                raise OrderingError(f"unknown event: {ts}")
+        if self.reaches(b, a):
+            raise CycleError(f"ordering {a} before {b} would create a cycle")
+        self._succ[a.id].add(b.id)
+        self._pred[b.id].add(a.id)
+        self._has_out.add(a.id)
+
+    def remove_event(self, ts: VectorTimestamp) -> None:
+        """Garbage-collect one event, bridging its edges transitively.
+
+        Removing an interior event must not lose commitments between its
+        neighbours, so every (pred, succ) pair is connected directly.
+        """
+        if ts.id not in self._events:
+            return
+        preds = self._pred.pop(ts.id)
+        succs = self._succ.pop(ts.id)
+        del self._events[ts.id]
+        self._has_out.discard(ts.id)
+        for p in preds:
+            self._succ[p].discard(ts.id)
+            for s in succs:
+                if p != s:
+                    self._succ[p].add(s)
+                    self._pred[s].add(p)
+            if self._succ[p]:
+                self._has_out.add(p)
+            else:
+                self._has_out.discard(p)
+        for s in succs:
+            self._pred[s].discard(ts.id)
+
+
+class OracleStats:
+    """Message and decision counters, used by the Fig 14 experiment."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.decisions = 0
+        self.events_created = 0
+        self.events_collected = 0
+
+    @property
+    def messages(self) -> int:
+        """Total request messages the oracle served."""
+        return self.queries + self.decisions + self.events_created
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.decisions = 0
+        self.events_created = 0
+        self.events_collected = 0
+
+
+class TimelineOracle:
+    """The event-ordering state machine (one replica).
+
+    All mutating entry points are deterministic functions of their inputs
+    plus current state, which is what lets :class:`ReplicatedOracle` keep
+    replicas identical by forwarding the same operations down a chain.
+    """
+
+    def __init__(self) -> None:
+        self._graph = EventDependencyGraph()
+        self.stats = OracleStats()
+
+    @property
+    def graph(self) -> EventDependencyGraph:
+        return self._graph
+
+    @property
+    def num_events(self) -> int:
+        return len(self._graph)
+
+    def create_event(self, ts: VectorTimestamp) -> None:
+        """Register a transaction as an event (idempotent)."""
+        if self._graph.add_event(ts):
+            self.stats.events_created += 1
+
+    def query_order(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        """Return the pre-established order of (a, b), or None.
+
+        Consults vector clocks, explicit commitments, and their combined
+        transitive closure.  Never creates new commitments.
+        """
+        self.stats.queries += 1
+        vc = a.compare(b)
+        if vc is not Ordering.CONCURRENT:
+            return vc
+        self._ensure(a)
+        self._ensure(b)
+        if self._graph.reaches(a, b):
+            return Ordering.BEFORE
+        if self._graph.reaches(b, a):
+            return Ordering.AFTER
+        return None
+
+    def order(
+        self,
+        a: VectorTimestamp,
+        b: VectorTimestamp,
+        prefer: Ordering = Ordering.BEFORE,
+    ) -> Ordering:
+        """Return the order of (a, b), establishing one if none exists.
+
+        ``prefer`` is the order committed when the pair is unordered; shard
+        servers pass arrival order for transaction pairs, and order node
+        programs *after* concurrent committed writes (section 4.1), so that
+        node programs never miss completed transactions.
+        """
+        existing = self.query_order(a, b)
+        if existing is not None:
+            return existing
+        if prefer is Ordering.BEFORE:
+            self._graph.add_order(a, b)
+        elif prefer is Ordering.AFTER:
+            self._graph.add_order(b, a)
+        else:
+            raise OrderingError(f"cannot prefer {prefer}")
+        self.stats.decisions += 1
+        return prefer
+
+    def assign_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
+        """Explicitly commit a happens-before b (the raw Kronos primitive)."""
+        self._ensure(a)
+        self._ensure(b)
+        self._graph.add_order(a, b)
+        self.stats.decisions += 1
+
+    def collect_below(self, watermark: VectorTimestamp) -> int:
+        """Drop events strictly happens-before the watermark (section 4.5).
+
+        Only events whose order with every live query is already decided by
+        vector clocks can go; edges through them are bridged so surviving
+        commitments are preserved.  Returns the number collected.
+        """
+        victims = [
+            ts for ts in list(self._graph.events)
+            if ts.happens_before(watermark)
+        ]
+        for ts in victims:
+            self._graph.remove_event(ts)
+        self.stats.events_collected += len(victims)
+        return len(victims)
+
+    def _ensure(self, ts: VectorTimestamp) -> None:
+        self._graph.add_event(ts)
+
+
+class ReplicatedOracle:
+    """A chain-replicated timeline oracle (section 3.4, [62]).
+
+    Updates are applied at the head and propagated down the chain; queries
+    may be served by any replica (we round-robin to model read scaling).
+    ``fail_replica`` removes a replica; the chain keeps working as long as
+    one replica survives, because every replica holds the full state
+    machine and operations are deterministic.
+    """
+
+    def __init__(self, chain_length: int = 3):
+        if chain_length < 1:
+            raise ValueError("chain needs at least one replica")
+        self._replicas = [TimelineOracle() for _ in range(chain_length)]
+        self._next_read = 0
+        self.update_messages = 0
+
+    @property
+    def chain_length(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def head(self) -> TimelineOracle:
+        return self._replicas[0]
+
+    @property
+    def tail(self) -> TimelineOracle:
+        return self._replicas[-1]
+
+    def _reader(self) -> TimelineOracle:
+        replica = self._replicas[self._next_read % len(self._replicas)]
+        self._next_read += 1
+        return replica
+
+    def _apply_all(self, method: str, *args) -> object:
+        result = None
+        for replica in self._replicas:
+            result = getattr(replica, method)(*args)
+            self.update_messages += 1
+        return result
+
+    def create_event(self, ts: VectorTimestamp) -> None:
+        self._apply_all("create_event", ts)
+
+    def query_order(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        # Queries that might *decide* must not race ahead of the chain;
+        # pure queries read any replica.  All replicas are kept identical
+        # synchronously here, so any replica is safe.
+        return self._reader().query_order(a, b)
+
+    def order(
+        self,
+        a: VectorTimestamp,
+        b: VectorTimestamp,
+        prefer: Ordering = Ordering.BEFORE,
+    ) -> Ordering:
+        return self._apply_all("order", a, b, prefer)  # type: ignore[return-value]
+
+    def assign_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
+        self._apply_all("assign_order", a, b)
+
+    def collect_below(self, watermark: VectorTimestamp) -> int:
+        return self._apply_all("collect_below", watermark)  # type: ignore[return-value]
+
+    def fail_replica(self, index: int = 0) -> None:
+        """Remove one replica from the chain (crash model)."""
+        if len(self._replicas) == 1:
+            raise ValueError("cannot fail the last replica")
+        del self._replicas[index]

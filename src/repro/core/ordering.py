@@ -1,0 +1,176 @@
+"""Refinable ordering façade: vector clocks first, oracle when needed.
+
+This module packages the paper's two-stage ordering decision behind one
+call.  Shard servers use a :class:`RefinableOrdering` instance to compare
+any two transaction timestamps; the comparison is resolved proactively by
+the vector clocks when possible and escalated to the timeline oracle only
+for concurrent pairs (section 3.1).  The façade also keeps the statistics
+that the coordination-overhead experiment (Fig 14) reports: how many
+comparisons were settled proactively vs. reactively.
+
+Because oracle decisions are irreversible and monotonic, shard servers may
+cache them locally (section 4.2); :class:`OrderingCache` implements that
+cache and the ablation benchmark A3 measures the oracle traffic it saves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .oracle import ReplicatedOracle, TimelineOracle
+from .vclock import Ordering, VectorTimestamp
+
+PairKey = Tuple[Tuple[int, int, int], Tuple[int, int, int]]
+
+
+class OrderingCache:
+    """A shard-local cache of oracle decisions.
+
+    Safe because the oracle never revokes a decision.  Entries are keyed on
+    the (smaller, larger) event-id pair so both query directions hit.
+    """
+
+    def __init__(self) -> None:
+        self._decisions: Dict[PairKey, Ordering] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    @staticmethod
+    def _key(a: VectorTimestamp, b: VectorTimestamp) -> Tuple[PairKey, bool]:
+        if a.id <= b.id:
+            return (a.id, b.id), False
+        return (b.id, a.id), True
+
+    def get(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        key, flipped = self._key(a, b)
+        found = self._decisions.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return found.flipped() if flipped else found
+
+    def put(
+        self, a: VectorTimestamp, b: VectorTimestamp, order: Ordering
+    ) -> None:
+        key, flipped = self._key(a, b)
+        self._decisions[key] = order.flipped() if flipped else order
+
+    def evict_below(self, watermark: VectorTimestamp) -> int:
+        """Drop cached decisions whose both events predate the watermark."""
+        victims = [
+            key for key in self._decisions
+            if key[0][0] < watermark.epoch and key[1][0] < watermark.epoch
+        ]
+        for key in victims:
+            del self._decisions[key]
+        return len(victims)
+
+    def clear(self) -> None:
+        self._decisions.clear()
+
+
+class OrderingStats:
+    """Counts of how comparisons were resolved."""
+
+    def __init__(self) -> None:
+        self.proactive = 0   # settled by vector clocks alone
+        self.cached = 0      # settled by a cached oracle decision
+        self.reactive = 0    # required an oracle round trip
+
+    @property
+    def total(self) -> int:
+        return self.proactive + self.cached + self.reactive
+
+    @property
+    def reactive_fraction(self) -> float:
+        return self.reactive / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self.proactive = 0
+        self.cached = 0
+        self.reactive = 0
+
+
+class RefinableOrdering:
+    """Order any two timestamps, cheaply when possible.
+
+    One instance per shard server.  ``oracle`` may be a plain
+    :class:`TimelineOracle` or a :class:`ReplicatedOracle`; both expose the
+    same ``order``/``query_order`` interface.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        use_cache: bool = True,
+    ):
+        self._oracle = oracle
+        self._cache: Optional[OrderingCache] = (
+            OrderingCache() if use_cache else None
+        )
+        self.stats = OrderingStats()
+
+    @property
+    def oracle(self):
+        return self._oracle
+
+    @property
+    def cache(self) -> Optional[OrderingCache]:
+        return self._cache
+
+    def compare(
+        self,
+        a: VectorTimestamp,
+        b: VectorTimestamp,
+        prefer: Ordering = Ordering.BEFORE,
+    ) -> Ordering:
+        """Resolve the order of (a, b), escalating only when required.
+
+        ``prefer`` is forwarded to the oracle and applies only when the
+        pair is concurrent *and* no prior commitment exists: it encodes
+        arrival order (for transaction pairs) or the node-programs-after-
+        writes rule of section 4.1.
+        """
+        vc = a.compare(b)
+        if vc is not Ordering.CONCURRENT:
+            self.stats.proactive += 1
+            return vc
+        if self._cache is not None:
+            cached = self._cache.get(a, b)
+            if cached is not None:
+                self.stats.cached += 1
+                return cached
+        decided = self._oracle.order(a, b, prefer)
+        self.stats.reactive += 1
+        if self._cache is not None:
+            self._cache.put(a, b, decided)
+        return decided
+
+    def earliest(self, timestamps, prefer: Ordering = Ordering.BEFORE):
+        """Pick the earliest of a non-empty collection of timestamps.
+
+        Used by shard event loops to select the next transaction to apply
+        across per-gatekeeper queues (Fig 6).  Concurrent pairs are settled
+        (and thereby committed) via :meth:`compare`.
+        """
+        timestamps = list(timestamps)
+        if not timestamps:
+            raise ValueError("earliest() of no timestamps")
+        best = timestamps[0]
+        for candidate in timestamps[1:]:
+            if self.compare(candidate, best, prefer) is Ordering.BEFORE:
+                best = candidate
+        return best
+
+
+def make_oracle(chain_length: int = 1):
+    """Build a timeline oracle; a chain when ``chain_length`` > 1."""
+    if chain_length <= 1:
+        return TimelineOracle()
+    return ReplicatedOracle(chain_length)

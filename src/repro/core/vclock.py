@@ -1,0 +1,213 @@
+"""Vector timestamps: the proactive half of refinable timestamps.
+
+Each gatekeeper maintains a vector clock with one counter per gatekeeper
+(section 3.3 of the paper).  On every client request the gatekeeper
+increments its own counter and snapshots the vector into an immutable
+:class:`VectorTimestamp` attached to the transaction.  Gatekeepers announce
+their clocks to each other every ``tau`` microseconds, which establishes
+happens-before edges between most pairs of timestamps.
+
+Timestamps additionally carry an ``epoch`` (section 4.3): the cluster
+manager bumps the epoch on failover, and any timestamp of a lower epoch
+happens-before any timestamp of a higher epoch.  This keeps ordering
+monotonic when a recovering gatekeeper restarts its counter at zero.
+
+A timestamp also records the issuing gatekeeper, which makes every
+timestamp unique (a gatekeeper never reuses a value of its own counter
+within an epoch) and therefore usable as a transaction identity, exactly
+as the paper's timeline oracle requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+class Ordering(enum.Enum):
+    """Result of comparing two vector timestamps."""
+
+    BEFORE = "before"          # a happens-before b
+    AFTER = "after"            # b happens-before a
+    CONCURRENT = "concurrent"  # neither dominates: needs the oracle
+    EQUAL = "equal"            # same timestamp object (same issuer + clock)
+
+    def flipped(self) -> "Ordering":
+        """The ordering of (b, a) given this ordering of (a, b)."""
+        if self is Ordering.BEFORE:
+            return Ordering.AFTER
+        if self is Ordering.AFTER:
+            return Ordering.BEFORE
+        return self
+
+
+@dataclass(frozen=True)
+class VectorTimestamp:
+    """An immutable vector timestamp issued by one gatekeeper.
+
+    Attributes:
+        epoch: cluster configuration epoch; bumped by the cluster manager
+            on failure detection (section 4.3).
+        clocks: one counter per gatekeeper, a snapshot of the issuer's
+            vector clock at issue time.
+        issuer: index of the gatekeeper that issued this timestamp.
+    """
+
+    epoch: int
+    clocks: Tuple[int, ...]
+    issuer: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.issuer < len(self.clocks):
+            raise ValueError(
+                f"issuer {self.issuer} out of range for "
+                f"{len(self.clocks)} gatekeepers"
+            )
+
+    def __len__(self) -> int:
+        return len(self.clocks)
+
+    @classmethod
+    def ancient(cls, num_gatekeepers: int) -> "VectorTimestamp":
+        """A timestamp ordered before every real one (epoch -1).
+
+        Used when state of unknown age re-enters memory — demand paging
+        and shard recovery — so it is visible to every current reader.
+        """
+        return cls(-1, (0,) * num_gatekeepers, 0)
+
+    @property
+    def local_clock(self) -> int:
+        """The issuer's own counter value — unique per issuer per epoch."""
+        return self.clocks[self.issuer]
+
+    @property
+    def id(self) -> Tuple[int, int, int]:
+        """A hashable identity: (epoch, issuer, issuer's counter).
+
+        Two timestamps with equal ``id`` are the same timestamp; the paper
+        uses the full vector as a transaction identifier and this triple is
+        the minimal unique projection of it.
+        """
+        return (self.epoch, self.issuer, self.local_clock)
+
+    def compare(self, other: "VectorTimestamp") -> Ordering:
+        """Compare under the happens-before partial order.
+
+        A lower epoch always happens-before a higher epoch.  Within an
+        epoch, ``a`` happens-before ``b`` iff ``a``'s vector is dominated
+        componentwise by ``b``'s (and they differ).  Vectors that do not
+        dominate each other are concurrent and need the timeline oracle.
+        """
+        if len(self.clocks) != len(other.clocks):
+            raise ValueError(
+                "cannot compare timestamps of different cluster sizes: "
+                f"{len(self.clocks)} vs {len(other.clocks)}"
+            )
+        if self.epoch != other.epoch:
+            return (
+                Ordering.BEFORE if self.epoch < other.epoch else Ordering.AFTER
+            )
+        if self.id == other.id:
+            return Ordering.EQUAL
+        some_less = False
+        some_greater = False
+        for mine, theirs in zip(self.clocks, other.clocks):
+            if mine < theirs:
+                some_less = True
+            elif mine > theirs:
+                some_greater = True
+        if some_less and not some_greater:
+            return Ordering.BEFORE
+        if some_greater and not some_less:
+            return Ordering.AFTER
+        if not some_less and not some_greater:
+            # Identical vectors issued by different gatekeepers: possible
+            # right after an announce; they are concurrent events.
+            return Ordering.CONCURRENT
+        return Ordering.CONCURRENT
+
+    def happens_before(self, other: "VectorTimestamp") -> bool:
+        return self.compare(other) is Ordering.BEFORE
+
+    def concurrent_with(self, other: "VectorTimestamp") -> bool:
+        return self.compare(other) is Ordering.CONCURRENT
+
+    def __str__(self) -> str:
+        vec = ",".join(str(c) for c in self.clocks)
+        return f"<e{self.epoch}:gk{self.issuer}:({vec})>"
+
+
+class VectorClock:
+    """The mutable vector clock owned by one gatekeeper.
+
+    Supports the three operations the protocol needs: ``tick`` (issue a
+    timestamp for a new transaction), ``observe`` (fold in a peer's
+    announce message), and ``announce`` (snapshot the vector for peers).
+    """
+
+    def __init__(self, num_gatekeepers: int, index: int, epoch: int = 0):
+        if num_gatekeepers <= 0:
+            raise ValueError("need at least one gatekeeper")
+        if not 0 <= index < num_gatekeepers:
+            raise ValueError(f"index {index} out of range")
+        self._clocks = [0] * num_gatekeepers
+        self._index = index
+        self._epoch = epoch
+
+    @property
+    def index(self) -> int:
+        return self._index
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def clocks(self) -> Tuple[int, ...]:
+        return tuple(self._clocks)
+
+    def tick(self) -> VectorTimestamp:
+        """Increment the local counter and return a fresh timestamp."""
+        self._clocks[self._index] += 1
+        return VectorTimestamp(self._epoch, tuple(self._clocks), self._index)
+
+    def peek(self) -> VectorTimestamp:
+        """Current state as a timestamp, without consuming a counter value.
+
+        Used for read-only watermarks; never attach a peeked timestamp to
+        a transaction, since it is not unique.
+        """
+        return VectorTimestamp(self._epoch, tuple(self._clocks), self._index)
+
+    def observe(self, announced: Iterable[int]) -> None:
+        """Fold a peer's announced vector in, componentwise maximum."""
+        announced = list(announced)
+        if len(announced) != len(self._clocks):
+            raise ValueError("announce vector has wrong length")
+        for i, value in enumerate(announced):
+            if i == self._index:
+                # Never let a peer advance our own counter: only local
+                # ticks do that, preserving uniqueness of issued stamps.
+                continue
+            if value > self._clocks[i]:
+                self._clocks[i] = value
+
+    def announce(self) -> Tuple[int, ...]:
+        """Snapshot to broadcast to peers."""
+        return tuple(self._clocks)
+
+    def advance_epoch(self, new_epoch: int) -> None:
+        """Move to a new configuration epoch, restarting all counters.
+
+        The cluster manager guarantees via a barrier that every server has
+        entered ``new_epoch`` before any timestamp from it is issued, so
+        restarting at zero is safe: epoch comparison dominates.
+        """
+        if new_epoch <= self._epoch:
+            raise ValueError(
+                f"epoch must move forward: {new_epoch} <= {self._epoch}"
+            )
+        self._epoch = new_epoch
+        self._clocks = [0] * len(self._clocks)

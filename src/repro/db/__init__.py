@@ -1,0 +1,15 @@
+"""The user-facing database layer."""
+
+from .config import WeaverConfig
+from .database import Weaver
+from .client import WeaverClient
+from .transactions import Transaction
+from . import operations
+
+__all__ = [
+    "WeaverConfig",
+    "Weaver",
+    "WeaverClient",
+    "Transaction",
+    "operations",
+]

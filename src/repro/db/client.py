@@ -1,0 +1,194 @@
+"""The client API: transactions with retry, and query helpers.
+
+:class:`WeaverClient` is the surface applications program against
+(section 2).  It wraps a :class:`~repro.db.database.Weaver` instance with:
+
+* ``transaction()`` / ``transact(fn)`` — the ``weaver_tx`` block, with
+  automatic retry on optimistic aborts (the client-retries rule of
+  section 4.2);
+* one helper per stock node program (``get_node``, ``traverse``,
+  ``reachable``, ...), each running on a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.vclock import VectorTimestamp
+from ..errors import TransactionAborted, WeaverError
+from ..programs import library
+from ..programs.framework import NodeProgram, ProgramResult
+from .database import Weaver
+from .transactions import Transaction
+
+
+class WeaverClient:
+    """A connection to a Weaver deployment."""
+
+    def __init__(self, db: Weaver, max_retries: int = 16):
+        self._db = db
+        self._max_retries = max_retries
+
+    @property
+    def db(self) -> Weaver:
+        return self._db
+
+    # -- transactions ----------------------------------------------------
+
+    def transaction(self, gatekeeper: Optional[int] = None) -> Transaction:
+        """Open a transaction; use as a context manager for auto-commit."""
+        return self._db.begin_transaction(gatekeeper)
+
+    def transact(
+        self,
+        fn: Callable[[Transaction], Any],
+        gatekeeper: Optional[int] = None,
+    ) -> Any:
+        """Run ``fn(tx)`` and commit, retrying on optimistic aborts."""
+        last: Optional[TransactionAborted] = None
+        for _ in range(self._max_retries):
+            tx = self._db.begin_transaction(gatekeeper)
+            try:
+                result = fn(tx)
+                tx.commit()
+                return result
+            except TransactionAborted as exc:
+                last = exc
+        raise last if last else WeaverError("transact failed")
+
+    # -- vertex/edge conveniences ---------------------------------------
+
+    def create_vertex(self, handle: Optional[str] = None) -> str:
+        return self.transact(lambda tx: tx.create_vertex(handle))
+
+    def create_edge(
+        self, src: str, dst: str, handle: Optional[str] = None
+    ) -> str:
+        return self.transact(lambda tx: tx.create_edge(src, dst, handle))
+
+    def delete_vertex(self, handle: str) -> None:
+        self.transact(lambda tx: tx.delete_vertex(handle))
+
+    def delete_edge(self, src: str, handle: str) -> None:
+        self.transact(lambda tx: tx.delete_edge(src, handle))
+
+    def set_property(self, vertex: str, key: str, value: Any) -> None:
+        self.transact(lambda tx: tx.set_property(vertex, key, value))
+
+    # -- node-program helpers ------------------------------------------
+
+    def run_program(
+        self,
+        program: NodeProgram,
+        start,
+        params: Any = None,
+        at: Optional[VectorTimestamp] = None,
+        use_cache: bool = False,
+    ) -> ProgramResult:
+        return self._db.run_program(
+            program, start, params, at=at, use_cache=use_cache
+        )
+
+    def get_node(
+        self, vertex: str, at: Optional[VectorTimestamp] = None
+    ) -> Dict[str, Any]:
+        """One vertex's properties and degree (TAO get_node)."""
+        return self.run_program(library.GetNode(), vertex, at=at).value
+
+    def get_edges(
+        self,
+        vertex: str,
+        edge_prop: Optional[str] = None,
+        at: Optional[VectorTimestamp] = None,
+    ) -> List[Dict[str, Any]]:
+        params = library.params(edge_prop=edge_prop)
+        return self.run_program(
+            library.GetEdges(), vertex, params, at=at
+        ).value
+
+    def count_edges(
+        self,
+        vertex: str,
+        edge_prop: Optional[str] = None,
+        at: Optional[VectorTimestamp] = None,
+    ) -> int:
+        params = library.params(edge_prop=edge_prop)
+        return self.run_program(
+            library.CountEdges(), vertex, params, at=at
+        ).value
+
+    def traverse(
+        self,
+        start: str,
+        edge_prop: Optional[str] = None,
+        max_depth: Optional[int] = None,
+        at: Optional[VectorTimestamp] = None,
+    ) -> List[str]:
+        """BFS from ``start``; returns visited vertices in visit order."""
+        params = library.params(
+            edge_prop=edge_prop, depth=0, max_depth=max_depth
+        )
+        return self.run_program(library.Bfs(), start, params, at=at).results
+
+    def reachable(
+        self,
+        src: str,
+        dst: str,
+        at: Optional[VectorTimestamp] = None,
+    ) -> bool:
+        params = library.params(target=dst)
+        result = self.run_program(library.Reachability(), src, params, at=at)
+        return bool(result.results)
+
+    def shortest_path_length(
+        self,
+        src: str,
+        dst: str,
+        at: Optional[VectorTimestamp] = None,
+    ) -> Optional[int]:
+        params = library.params(target=dst, dist=0)
+        result = self.run_program(library.ShortestPath(), src, params, at=at)
+        return result.results[0] if result.results else None
+
+    def find_path(
+        self,
+        src: str,
+        dst: str,
+        edge_prop: Optional[str] = None,
+        at: Optional[VectorTimestamp] = None,
+    ) -> Optional[List[str]]:
+        """One path from src to dst, or None (the Fig 1 query)."""
+        params = library.params(target=dst, path=(), edge_prop=edge_prop)
+        result = self.run_program(library.PathDiscovery(), src, params, at=at)
+        return result.results[0] if result.results else None
+
+    def clustering_coefficient(
+        self, vertex: str, at: Optional[VectorTimestamp] = None
+    ) -> float:
+        program = library.ClusteringCoefficient()
+        result = self.run_program(
+            program, vertex, library.params(phase="center"), at=at
+        )
+        return library.ClusteringCoefficient.aggregate(result)
+
+    def render_block(
+        self,
+        block: str,
+        at: Optional[VectorTimestamp] = None,
+        use_cache: bool = False,
+    ) -> Dict[str, Any]:
+        """CoinGraph's block query: header plus all transactions."""
+        result = self.run_program(
+            library.BlockRender(),
+            block,
+            library.params(phase="block"),
+            at=at,
+            use_cache=use_cache,
+        )
+        header = result.results[0]
+        return {
+            "block": header["block"],
+            "header": header["header"],
+            "n_tx": header["n_tx"],
+            "transactions": result.results[1:],
+        }

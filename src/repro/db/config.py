@@ -1,0 +1,72 @@
+"""Configuration for a Weaver deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WeaverConfig:
+    """Knobs of one Weaver instance.
+
+    Attributes:
+        num_gatekeepers: size of the gatekeeper bank (Fig 12's axis).
+        num_shards: number of graph partitions (Fig 13's axis).
+        announce_every: commits between synchronous vector-clock announce
+            rounds — the direct-mode analogue of the paper's τ.  1 keeps
+            clocks tight (almost everything orders proactively); larger
+            values push more pairs to the timeline oracle, which is the
+            tradeoff Fig 14 sweeps.
+        oracle_chain_length: replicas in the timeline oracle chain
+            (1 = unreplicated; 3 = the paper's fault-tolerant setup).
+        use_ordering_cache: let shards cache oracle decisions
+            (section 4.2; ablation A3).
+        enable_program_cache: memoize node-program results at vertices
+            (section 4.6; disabled by default, as in the paper's
+            evaluation; ablation A1).
+        program_cache_capacity: LRU capacity of the program cache.
+        partitioner: vertex placement — "round_robin" (balanced,
+            locality-blind; the paper's evaluation setting), "hash", or
+            "ldg" (streaming greedy colocation, section 4.6).
+        drain_every: commits between background queue drains; bounds
+            shard queue memory in long write-only stretches.
+        store_nodes: 0 runs the backing store as a single transactional
+            object; N >= 1 partitions it across N store nodes with
+            Warp-style linear transactions and replication.
+        store_replication: replicas per key when the store is
+            distributed (>= 2 survives any single store-node failure).
+    """
+
+    num_gatekeepers: int = 2
+    num_shards: int = 2
+    announce_every: int = 1
+    oracle_chain_length: int = 1
+    use_ordering_cache: bool = True
+    enable_program_cache: bool = False
+    program_cache_capacity: int = 4096
+    partitioner: str = "round_robin"
+    drain_every: int = 256
+    store_nodes: int = 0
+    store_replication: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_gatekeepers < 1:
+            raise ValueError("need at least one gatekeeper")
+        if self.num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.announce_every < 1:
+            raise ValueError("announce_every must be >= 1")
+        if self.oracle_chain_length < 1:
+            raise ValueError("oracle chain needs a replica")
+        if self.partitioner not in ("round_robin", "hash", "ldg"):
+            raise ValueError(f"unknown partitioner {self.partitioner!r}")
+        if self.drain_every < 1:
+            raise ValueError("drain_every must be >= 1")
+        if self.store_nodes < 0:
+            raise ValueError("store_nodes must be >= 0")
+        if self.store_nodes and not (
+            1 <= self.store_replication <= self.store_nodes
+        ):
+            raise ValueError(
+                "store_replication must be in [1, store_nodes]"
+            )

@@ -1,0 +1,37 @@
+"""The multi-version property graph and partitioning algorithms."""
+
+from .properties import (
+    Comparator,
+    LifeSpan,
+    PropertyBag,
+    PropertyRecord,
+    vclock_compare,
+)
+from .elements import Edge, Vertex
+from .mvgraph import EdgeView, MultiVersionGraph, SnapshotView, VertexView
+from .partition import (
+    HashPartitioner,
+    LdgPartitioner,
+    balance,
+    edge_cut,
+    restream,
+)
+
+__all__ = [
+    "Comparator",
+    "LifeSpan",
+    "PropertyBag",
+    "PropertyRecord",
+    "vclock_compare",
+    "Edge",
+    "Vertex",
+    "EdgeView",
+    "MultiVersionGraph",
+    "SnapshotView",
+    "VertexView",
+    "HashPartitioner",
+    "LdgPartitioner",
+    "balance",
+    "edge_cut",
+    "restream",
+]

@@ -1,0 +1,130 @@
+"""Vertices and edges of the multi-version property graph.
+
+A graph partition (section 3.2) consists of a set of vertices, all
+outgoing edges rooted at those vertices, and their attributes — so edges
+live inside their source vertex here too.  Both element types carry a
+:class:`~repro.graph.properties.LifeSpan` and a property bag; deletion is
+tombstoning, never physical removal (until garbage collection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..core.vclock import VectorTimestamp
+from .properties import Comparator, LifeSpan, PropertyBag
+
+
+class Edge:
+    """A directed edge, stored at its source vertex."""
+
+    __slots__ = ("handle", "src", "dst", "span", "properties")
+
+    def __init__(
+        self,
+        handle: str,
+        src: str,
+        dst: str,
+        created_at: VectorTimestamp,
+    ):
+        self.handle = handle
+        self.src = src
+        self.dst = dst
+        self.span = LifeSpan(created_at)
+        self.properties = PropertyBag()
+
+    def visible_at(self, ts: VectorTimestamp, cmp: Comparator) -> bool:
+        return self.span.visible_at(ts, cmp)
+
+    def __repr__(self) -> str:
+        return f"Edge({self.handle!r}, {self.src!r} -> {self.dst!r})"
+
+
+class Vertex:
+    """A vertex plus its out-edges and attributes.
+
+    ``edges`` maps edge handle to :class:`Edge` and keeps tombstoned edges
+    until GC; snapshot reads filter by visibility.
+    """
+
+    __slots__ = ("handle", "span", "properties", "edges", "archived_edges")
+
+    def __init__(self, handle: str, created_at: VectorTimestamp):
+        self.handle = handle
+        self.span = LifeSpan(created_at)
+        self.properties = PropertyBag()
+        self.edges: Dict[str, Edge] = {}
+        # Earlier incarnations of re-created edge handles: a deleted
+        # edge's record moves here when its handle is reused, keeping
+        # historical snapshots between its creation and deletion intact.
+        self.archived_edges: list = []
+
+    def visible_at(self, ts: VectorTimestamp, cmp: Comparator) -> bool:
+        return self.span.visible_at(ts, cmp)
+
+    def add_edge(self, edge: Edge) -> None:
+        if edge.src != self.handle:
+            raise ValueError(
+                f"edge {edge.handle!r} is rooted at {edge.src!r}, "
+                f"not {self.handle!r}"
+            )
+        existing = self.edges.get(edge.handle)
+        if existing is not None:
+            if not existing.span.is_deleted:
+                raise ValueError(f"duplicate edge handle {edge.handle!r}")
+            self.archived_edges.append(existing)
+        self.edges[edge.handle] = edge
+
+    def get_edge(self, handle: str) -> Optional[Edge]:
+        return self.edges.get(handle)
+
+    def visible_edge(
+        self, handle: str, ts: VectorTimestamp, cmp: Comparator
+    ) -> Optional[Edge]:
+        """The incarnation of edge ``handle`` visible at ``ts``, if any."""
+        current = self.edges.get(handle)
+        if current is not None and current.visible_at(ts, cmp):
+            return current
+        for edge in reversed(self.archived_edges):
+            if edge.handle == handle and edge.visible_at(ts, cmp):
+                return edge
+        return None
+
+    def edges_at(
+        self, ts: VectorTimestamp, cmp: Comparator
+    ) -> Iterator[Edge]:
+        """Out-edges visible in the snapshot at ``ts``."""
+        for edge in self.edges.values():
+            if edge.visible_at(ts, cmp):
+                yield edge
+        for edge in self.archived_edges:
+            if edge.visible_at(ts, cmp):
+                yield edge
+
+    def collect_archived_below(
+        self, watermark: VectorTimestamp, cmp: Comparator
+    ) -> int:
+        """Drop archived edge incarnations dead before the watermark."""
+        kept = [
+            e for e in self.archived_edges
+            if not e.span.dead_before(watermark, cmp)
+        ]
+        reclaimed = sum(
+            1 + e.properties.version_count()
+            for e in self.archived_edges
+            if e.span.dead_before(watermark, cmp)
+        )
+        self.archived_edges = kept
+        return reclaimed
+
+    def version_count(self) -> int:
+        """Number of versioned records held (for GC accounting)."""
+        total = 1 + self.properties.version_count()
+        for edge in self.edges.values():
+            total += 1 + edge.properties.version_count()
+        for edge in self.archived_edges:
+            total += 1 + edge.properties.version_count()
+        return total
+
+    def __repr__(self) -> str:
+        return f"Vertex({self.handle!r}, {len(self.edges)} edges)"

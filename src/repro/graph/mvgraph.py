@@ -1,0 +1,346 @@
+"""The in-memory multi-version graph and its snapshot views.
+
+Every mutation carries the vector timestamp of the writing transaction and
+tombstones rather than destroys (section 4.2).  Reads go through a
+:class:`SnapshotView` bound to one timestamp: the view exposes only the
+vertices, edges, and property values whose lifespans contain that
+timestamp, which is how long-running node programs observe a consistent
+cut of the graph without blocking writers — and how historical queries
+run on past versions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..core.vclock import VectorTimestamp
+from ..errors import NoSuchEdge, NoSuchVertex
+from .elements import Edge, Vertex
+from .properties import Comparator, vclock_compare
+
+
+class MultiVersionGraph:
+    """A timestamp-versioned property graph (one shard's partition)."""
+
+    def __init__(self, cmp: Comparator = vclock_compare):
+        self._vertices: Dict[str, Vertex] = {}
+        # Earlier incarnations of re-created handles: a deleted vertex's
+        # record moves here when its handle is reused, so historical
+        # snapshots between its creation and deletion still see it.
+        self._archive: Dict[str, List[Vertex]] = {}
+        self._cmp = cmp
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def comparator(self) -> Comparator:
+        return self._cmp
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, handle: str) -> bool:
+        return handle in self._vertices
+
+    def raw_vertex(self, handle: str) -> Optional[Vertex]:
+        """The underlying record, tombstoned or not."""
+        return self._vertices.get(handle)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Every vertex record, current and archived incarnations."""
+        for vertex in self._vertices.values():
+            yield vertex
+        for incarnations in self._archive.values():
+            yield from incarnations
+
+    def visible_vertex(
+        self,
+        handle: str,
+        ts: VectorTimestamp,
+        cmp: Optional[Comparator] = None,
+    ) -> Optional[Vertex]:
+        """The incarnation of ``handle`` visible at ``ts``, if any."""
+        cmp = cmp or self._cmp
+        current = self._vertices.get(handle)
+        if current is not None and current.visible_at(ts, cmp):
+            return current
+        for vertex in reversed(self._archive.get(handle, ())):
+            if vertex.visible_at(ts, cmp):
+                return vertex
+        return None
+
+    def version_count(self) -> int:
+        return sum(v.version_count() for v in self.vertices())
+
+    # -- mutations (each stamped with the writer's timestamp) ---------------
+
+    def create_vertex(self, handle: str, ts: VectorTimestamp) -> Vertex:
+        existing = self._vertices.get(handle)
+        if existing is not None:
+            if not existing.span.is_deleted:
+                raise ValueError(f"vertex {handle!r} already exists")
+            # Keep the dead incarnation for historical snapshots.
+            self._archive.setdefault(handle, []).append(existing)
+        vertex = Vertex(handle, ts)
+        self._vertices[handle] = vertex
+        return vertex
+
+    def delete_vertex(self, handle: str, ts: VectorTimestamp) -> None:
+        vertex = self._live_vertex(handle)
+        for edge in vertex.edges.values():
+            if not edge.span.is_deleted:
+                edge.span.delete(ts)
+        vertex.span.delete(ts)
+
+    def create_edge(
+        self, handle: str, src: str, dst: str, ts: VectorTimestamp
+    ) -> Edge:
+        vertex = self._live_vertex(src)
+        edge = Edge(handle, src, dst, ts)
+        vertex.add_edge(edge)
+        return edge
+
+    def delete_edge(self, src: str, handle: str, ts: VectorTimestamp) -> None:
+        edge = self._live_edge(src, handle)
+        edge.span.delete(ts)
+
+    def set_vertex_property(
+        self, handle: str, key: str, value: Any, ts: VectorTimestamp
+    ) -> None:
+        self._live_vertex(handle).properties.assign(key, value, ts)
+
+    def delete_vertex_property(
+        self, handle: str, key: str, ts: VectorTimestamp
+    ) -> bool:
+        return self._live_vertex(handle).properties.remove(key, ts)
+
+    def set_edge_property(
+        self, src: str, handle: str, key: str, value: Any, ts: VectorTimestamp
+    ) -> None:
+        self._live_edge(src, handle).properties.assign(key, value, ts)
+
+    def delete_edge_property(
+        self, src: str, handle: str, key: str, ts: VectorTimestamp
+    ) -> bool:
+        return self._live_edge(src, handle).properties.remove(key, ts)
+
+    # -- reads ----------------------------------------------------------
+
+    def at(
+        self, ts: VectorTimestamp, cmp: Optional[Comparator] = None
+    ) -> "SnapshotView":
+        """A consistent read-only view of the graph at ``ts``."""
+        return SnapshotView(self, ts, cmp or self._cmp)
+
+    def release_vertex(self, handle: str):
+        """Detach a vertex record (with its archived incarnations) for
+        migration to another partition.  Unlike :meth:`evict`, the full
+        multi-version history travels with it.
+
+        Returns ``(vertex, archived_incarnations)``; raises if the
+        handle is unknown.
+        """
+        vertex = self._vertices.pop(handle, None)
+        if vertex is None:
+            raise NoSuchVertex(handle)
+        return vertex, self._archive.pop(handle, [])
+
+    def adopt_vertex(self, vertex: Vertex, archived=None) -> None:
+        """Install a migrated vertex record (see :meth:`release_vertex`)."""
+        if vertex.handle in self._vertices:
+            raise ValueError(f"vertex {vertex.handle!r} already here")
+        self._vertices[vertex.handle] = vertex
+        if archived:
+            self._archive[vertex.handle] = list(archived)
+
+    def evict(self, handle: str) -> int:
+        """Drop a vertex record (all versions) from memory entirely.
+
+        Demand paging support (section 6.1): evicted state is *not*
+        deleted — the durable copy lives in the backing store and is
+        paged back in on access.  Returns the number of versioned
+        records released.
+        """
+        vertex = self._vertices.pop(handle, None)
+        released = vertex.version_count() if vertex is not None else 0
+        for old in self._archive.pop(handle, ()):
+            released += old.version_count()
+        return released
+
+    # -- garbage collection (section 4.5) ---------------------------------
+
+    def collect_below(self, watermark: VectorTimestamp) -> int:
+        """Drop tombstoned state invisible to every query at or after the
+        watermark (the oldest ongoing node program).  Returns the number of
+        records reclaimed."""
+        reclaimed = 0
+        for handle in list(self._archive):
+            incarnations = self._archive[handle]
+            kept = [
+                v for v in incarnations
+                if not v.span.dead_before(watermark, self._cmp)
+            ]
+            reclaimed += sum(
+                v.version_count()
+                for v in incarnations
+                if v.span.dead_before(watermark, self._cmp)
+            )
+            if kept:
+                self._archive[handle] = kept
+            else:
+                del self._archive[handle]
+        for handle in list(self._vertices):
+            vertex = self._vertices[handle]
+            if vertex.span.dead_before(watermark, self._cmp):
+                reclaimed += vertex.version_count()
+                del self._vertices[handle]
+                continue
+            reclaimed += vertex.properties.collect_below(watermark, self._cmp)
+            reclaimed += vertex.collect_archived_below(watermark, self._cmp)
+            for edge_handle in list(vertex.edges):
+                edge = vertex.edges[edge_handle]
+                if edge.span.dead_before(watermark, self._cmp):
+                    reclaimed += 1 + edge.properties.version_count()
+                    del vertex.edges[edge_handle]
+                else:
+                    reclaimed += edge.properties.collect_below(
+                        watermark, self._cmp
+                    )
+        return reclaimed
+
+    # -- internals ---------------------------------------------------------
+
+    def _live_vertex(self, handle: str) -> Vertex:
+        vertex = self._vertices.get(handle)
+        if vertex is None or vertex.span.is_deleted:
+            raise NoSuchVertex(handle)
+        return vertex
+
+    def _live_edge(self, src: str, handle: str) -> Edge:
+        vertex = self._live_vertex(src)
+        edge = vertex.get_edge(handle)
+        if edge is None or edge.span.is_deleted:
+            raise NoSuchEdge(handle)
+        return edge
+
+
+class EdgeView:
+    """A read-only edge as seen by a snapshot (what node programs get)."""
+
+    __slots__ = ("_edge", "_ts", "_cmp")
+
+    def __init__(self, edge: Edge, ts: VectorTimestamp, cmp: Comparator):
+        self._edge = edge
+        self._ts = ts
+        self._cmp = cmp
+
+    @property
+    def handle(self) -> str:
+        return self._edge.handle
+
+    @property
+    def src(self) -> str:
+        return self._edge.src
+
+    @property
+    def nbr(self) -> str:
+        """The neighbour (destination) vertex handle — paper's ``edge.nbr``."""
+        return self._edge.dst
+
+    @property
+    def dst(self) -> str:
+        return self._edge.dst
+
+    def check(self, key: str, value: Any = None) -> bool:
+        """Paper's ``edge.check(prop)``: property visible at the snapshot."""
+        return self._edge.properties.check(key, self._ts, self._cmp, value)
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._edge.properties.get(key, self._ts, self._cmp, default)
+
+    def properties(self) -> Dict[str, Any]:
+        return self._edge.properties.items_at(self._ts, self._cmp)
+
+
+class VertexView:
+    """A read-only vertex as seen by a snapshot."""
+
+    __slots__ = ("_vertex", "_ts", "_cmp", "prog_state")
+
+    def __init__(self, vertex: Vertex, ts: VectorTimestamp, cmp: Comparator):
+        self._vertex = vertex
+        self._ts = ts
+        self._cmp = cmp
+        # Per-query mutable state, installed by the node-program executor.
+        self.prog_state: Any = None
+
+    @property
+    def handle(self) -> str:
+        return self._vertex.handle
+
+    @property
+    def neighbors(self) -> List[EdgeView]:
+        """Visible out-edges — paper's ``node.neighbors``."""
+        return [
+            EdgeView(edge, self._ts, self._cmp)
+            for edge in self._vertex.edges_at(self._ts, self._cmp)
+        ]
+
+    def out_degree(self) -> int:
+        return sum(1 for _ in self._vertex.edges_at(self._ts, self._cmp))
+
+    def get_edge(self, handle: str) -> Optional[EdgeView]:
+        edge = self._vertex.visible_edge(handle, self._ts, self._cmp)
+        if edge is None:
+            return None
+        return EdgeView(edge, self._ts, self._cmp)
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._vertex.properties.get(key, self._ts, self._cmp, default)
+
+    def check(self, key: str, value: Any = None) -> bool:
+        return self._vertex.properties.check(key, self._ts, self._cmp, value)
+
+    def properties(self) -> Dict[str, Any]:
+        return self._vertex.properties.items_at(self._ts, self._cmp)
+
+
+class SnapshotView:
+    """The whole graph at one timestamp."""
+
+    def __init__(
+        self,
+        graph: MultiVersionGraph,
+        ts: VectorTimestamp,
+        cmp: Comparator,
+    ):
+        self._graph = graph
+        self._ts = ts
+        self._cmp = cmp
+
+    @property
+    def timestamp(self) -> VectorTimestamp:
+        return self._ts
+
+    def has_vertex(self, handle: str) -> bool:
+        return (
+            self._graph.visible_vertex(handle, self._ts, self._cmp)
+            is not None
+        )
+
+    def vertex(self, handle: str) -> VertexView:
+        vertex = self._graph.visible_vertex(handle, self._ts, self._cmp)
+        if vertex is None:
+            raise NoSuchVertex(handle)
+        return VertexView(vertex, self._ts, self._cmp)
+
+    def vertices(self) -> Iterator[VertexView]:
+        for vertex in self._graph.vertices():
+            if vertex.visible_at(self._ts, self._cmp):
+                yield VertexView(vertex, self._ts, self._cmp)
+
+    def edge_count(self) -> int:
+        return sum(v.out_degree() for v in self.vertices())
+
+    def vertex_count(self) -> int:
+        return sum(1 for _ in self.vertices())

@@ -1,0 +1,55 @@
+"""Node programs: the read-only graph-analysis query layer."""
+
+from .framework import NodeProgram, ProgramExecutor, ProgramResult
+from .state import ProgramContext, WatermarkRegistry
+from .caching import ChangeTracker, ProgramCache
+from .analytics import (
+    ComponentSize,
+    DegreeHistogram,
+    KHopNeighborhood,
+    LabelPropagation,
+    PushPageRank,
+    TriangleCount,
+    WeightedShortestPath,
+)
+from .library import (
+    Bfs,
+    BlockRender,
+    ClusteringCoefficient,
+    CollectReachable,
+    CountEdges,
+    GetEdges,
+    GetNode,
+    PathDiscovery,
+    Reachability,
+    ShortestPath,
+    params,
+)
+
+__all__ = [
+    "ComponentSize",
+    "DegreeHistogram",
+    "KHopNeighborhood",
+    "LabelPropagation",
+    "PushPageRank",
+    "TriangleCount",
+    "WeightedShortestPath",
+    "NodeProgram",
+    "ProgramExecutor",
+    "ProgramResult",
+    "ProgramContext",
+    "WatermarkRegistry",
+    "ChangeTracker",
+    "ProgramCache",
+    "Bfs",
+    "BlockRender",
+    "ClusteringCoefficient",
+    "CollectReachable",
+    "CountEdges",
+    "GetEdges",
+    "GetNode",
+    "PathDiscovery",
+    "Reachability",
+    "ShortestPath",
+    "params",
+]

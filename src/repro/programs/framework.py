@@ -1,0 +1,144 @@
+"""The node-program execution engine (sections 2.3, 4.1).
+
+A node program is a vertex-level computation in the scatter-gather style:
+it receives a read-only :class:`~repro.graph.mvgraph.VertexView` (bound to
+the program's snapshot timestamp) plus parameters from the previous hop,
+reads the vertex's edges and attributes, may mutate its per-query
+``prog_state``, emit results, and returns the list of (vertex, params)
+pairs to visit next.  A vertex may be visited any number of times; the
+application directs all propagation.
+
+The executor is routing-agnostic: it pulls vertices through a ``resolve``
+callable supplied by the database layer, which is where shard routing and
+the wait-for-preceding-transactions logic live.  This keeps the engine
+testable against a bare in-memory graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+from ..core.vclock import VectorTimestamp
+from ..errors import ProgramError
+from ..graph.mvgraph import VertexView
+from .state import ProgramContext
+
+NextHops = Iterable[Tuple[str, Any]]
+Resolver = Callable[[str], Optional[VertexView]]
+
+
+class NodeProgram:
+    """Base class for node programs.
+
+    Subclasses override :meth:`run` and usually :meth:`init_state`.  The
+    paper's BFS example (Fig 3) maps directly::
+
+        class Bfs(NodeProgram):
+            def init_state(self):
+                return SimpleNamespace(visited=False)
+
+            def run(self, node, params, ctx):
+                nxt = []
+                if not node.prog_state.visited:
+                    for edge in node.neighbors:
+                        if edge.check(params.edge_prop):
+                            nxt.append((edge.nbr, params))
+                    node.prog_state.visited = True
+                return nxt
+    """
+
+    #: Stable name used for caching and reporting.
+    name = "node_program"
+
+    def init_state(self) -> Any:
+        """A fresh per-vertex ``prog_state`` (default: None)."""
+        return None
+
+    def run(
+        self, node: VertexView, params: Any, ctx: ProgramContext
+    ) -> NextHops:
+        raise NotImplementedError
+
+    def on_missing(self, handle: str, params: Any, ctx: ProgramContext) -> None:
+        """Hook invoked when a next-hop vertex is invisible at the
+        snapshot (deleted concurrently, or a dangling edge); default is
+        to skip it silently, which is what traversals want."""
+
+
+class ProgramResult:
+    """Outcome of one node-program execution."""
+
+    def __init__(self, ctx: ProgramContext):
+        self.query_id = ctx.query_id
+        self.timestamp = ctx.ts
+        self.results = ctx.results
+        self.states = ctx.states
+        self.vertices_visited = ctx.vertices_visited
+        self.hops = ctx.hops
+        self.halted = ctx.halted
+        self.read_set = ctx.read_set
+
+    @property
+    def value(self) -> Any:
+        """The single emitted value, for programs that emit exactly one."""
+        if len(self.results) != 1:
+            raise ProgramError(
+                f"expected exactly one result, got {len(self.results)}"
+            )
+        return self.results[0]
+
+
+class ProgramExecutor:
+    """Breadth-first driver of a node program across the graph."""
+
+    def __init__(self, max_visits: int = 10_000_000):
+        self._max_visits = max_visits
+
+    def execute(
+        self,
+        program: NodeProgram,
+        start: Iterable[Tuple[str, Any]],
+        resolve: Resolver,
+        ts: VectorTimestamp,
+        query_id: int = 0,
+    ) -> ProgramResult:
+        """Run ``program`` from the ``start`` frontier to completion.
+
+        ``resolve(handle)`` returns the vertex view at the program's
+        snapshot, or None when the vertex is invisible there.  Propagation
+        ends when the frontier drains, the program halts, or the visit
+        budget (a runaway guard) is exhausted.
+        """
+        ctx = ProgramContext(query_id, ts)
+        frontier = deque(start)
+        visits = 0
+        while frontier and not ctx.halted:
+            handle, params = frontier.popleft()
+            if visits >= self._max_visits:
+                raise ProgramError(
+                    f"visit budget exhausted ({self._max_visits})"
+                )
+            visits += 1
+            ctx.read_set.add(handle)
+            node = resolve(handle)
+            if node is None:
+                program.on_missing(handle, params, ctx)
+                continue
+            node.prog_state = ctx.state_for(handle, program.init_state)
+            ctx.vertices_visited += 1
+            hops = program.run(node, params, ctx)
+            if hops is None:
+                continue
+            for hop in hops:
+                if (
+                    not isinstance(hop, tuple)
+                    or len(hop) != 2
+                    or not isinstance(hop[0], str)
+                ):
+                    raise ProgramError(
+                        f"{program.name} returned a bad next-hop: {hop!r}"
+                    )
+                ctx.hops += 1
+                frontier.append(hop)
+        return ProgramResult(ctx)

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package stands in for the paper's physical clusters: servers are
+serially-busy resources, messages pay configurable latency on FIFO
+channels, and all time is simulated, so every experiment is exactly
+reproducible.
+"""
+
+from .clock import MSEC, SEC, USEC, SimClock
+from .simulator import Event, Server, Simulator
+from .network import DEFAULT_LATENCY, Network, NetworkStats
+from .deployment import SimulatedWeaver, TauController
+from .workload import SimClients, finite_stream
+
+__all__ = [
+    "SimulatedWeaver",
+    "TauController",
+    "SimClients",
+    "finite_stream",
+    "MSEC",
+    "SEC",
+    "USEC",
+    "SimClock",
+    "Event",
+    "Server",
+    "Simulator",
+    "DEFAULT_LATENCY",
+    "Network",
+    "NetworkStats",
+]

@@ -1,0 +1,42 @@
+"""Simulated time.
+
+All Weaver components in this reproduction run against a shared
+:class:`SimClock` rather than the wall clock, which makes every experiment
+deterministic and lets a laptop model a 44-machine cluster.  Time is a
+float in **seconds**; the module exports the unit constants the paper's
+parameters are quoted in (τ in microseconds, latencies in milliseconds).
+"""
+
+from __future__ import annotations
+
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("time starts at or after zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        if when < self._now:
+            raise ValueError(
+                f"time cannot move backwards: {when} < {self._now}"
+            )
+        self._now = when
+
+    def advance_by(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("negative delta")
+        self._now += delta
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.9f}s)"

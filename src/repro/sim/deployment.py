@@ -1,0 +1,607 @@
+"""An event-driven Weaver deployment on the discrete-event simulator.
+
+The direct-mode :class:`~repro.db.database.Weaver` executes the protocol
+synchronously (announce rounds stand in for the τ timer).  This module
+runs the *same server objects* — gatekeepers, shard servers, the
+timeline oracle, the backing store — asynchronously over the simulated
+network:
+
+* announce timers fire every ``tau`` simulated seconds per gatekeeper,
+  and announce messages pay network latency like everything else;
+* NOP heartbeat timers fire every ``nop_period`` per gatekeeper
+  (section 4.2's 10 µs default), keeping shard queues non-empty;
+* transactions travel client -> gatekeeper -> (store commit) -> shards
+  on FIFO channels with sequence numbers;
+* node programs wait at the shards until every queue head is ordered
+  after them — the wait is real simulated time, bounded by τ plus the
+  NOP period, which the tests verify;
+* heartbeats flow to the cluster manager, whose failure detector runs
+  on simulated time.
+
+This is the substrate for protocol-fidelity experiments: the Fig 14
+tradeoff emerges here from actual timers rather than from a modelling
+shortcut.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cluster.manager import ClusterManager
+from ..cluster.messages import QueuedTransaction
+from ..cluster.shard import ShardServer
+from ..core.gatekeeper import Gatekeeper
+from ..core.ordering import make_oracle
+from ..core.vclock import VectorTimestamp
+from ..db.config import WeaverConfig
+from ..db.operations import Operation, touched_vertices
+from ..errors import TransactionAborted
+from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
+from ..store.kvstore import TransactionalStore
+from ..store.mapping import ShardMapping
+from .clock import USEC
+from .network import Network
+from .simulator import Server, Simulator
+
+DEFAULT_TAU = 100 * USEC
+DEFAULT_NOP_PERIOD = 10 * USEC  # the paper's default (section 4.2)
+DEFAULT_HEARTBEAT = 0.1
+
+
+class TauController:
+    """Dynamic adjustment of the announce period (section 3.5).
+
+    The paper observes that τ "can be adjusted dynamically based on the
+    system workload": a quiescent system need not announce at all, a
+    busy one should announce often enough to keep the oracle off the
+    critical path, but not so often that announce processing dominates.
+
+    This controller implements that feedback loop on the quantity Fig 14
+    plots — coordination messages of each kind per window.  When oracle
+    traffic rivals announce traffic, τ shrinks (announce more, order
+    proactively); when announces exceed oracle traffic by more than
+    ``balance_ratio``, τ grows (the oracle is nearly idle; stop paying
+    for announces).  Adjustments are multiplicative within ``bounds``,
+    seeking Fig 14's crossover region.
+    """
+
+    def __init__(
+        self,
+        initial_tau: float,
+        bounds: Tuple[float, float] = (10 * USEC, 10e-3),
+        balance_ratio: float = 8.0,
+        factor: float = 2.0,
+    ):
+        low, high = bounds
+        if not 0 < low <= initial_tau <= high:
+            raise ValueError("initial tau outside bounds")
+        if factor <= 1.0:
+            raise ValueError("adjustment factor must exceed 1")
+        if balance_ratio < 1.0:
+            raise ValueError("balance ratio must be at least 1")
+        self.tau = initial_tau
+        self.bounds = bounds
+        self.balance_ratio = balance_ratio
+        self.factor = factor
+        self.adjustments: List[Tuple[float, int]] = []
+
+    def observe(
+        self, oracle_messages: int, announce_messages: int, committed: int
+    ) -> float:
+        """Feed one window's counters; returns the (possibly new) τ."""
+        low, high = self.bounds
+        if committed > 0:
+            if oracle_messages > max(1, announce_messages):
+                # Reactive ordering rivals the proactive machinery:
+                # announce more often.
+                self.tau = max(low, self.tau / self.factor)
+            elif announce_messages > self.balance_ratio * max(
+                1, oracle_messages
+            ):
+                # Announce chatter dwarfs the oracle's load: back off.
+                self.tau = min(high, self.tau * self.factor)
+        self.adjustments.append((self.tau, oracle_messages))
+        return self.tau
+
+
+class SimulatedWeaver:
+    """The full protocol running on simulated time."""
+
+    def __init__(
+        self,
+        config: Optional[WeaverConfig] = None,
+        tau: float = DEFAULT_TAU,
+        nop_period: float = DEFAULT_NOP_PERIOD,
+        heartbeat_period: float = DEFAULT_HEARTBEAT,
+        latency: float = 100 * USEC,
+        gc_period: float = 0.01,
+        tau_controller: Optional[TauController] = None,
+        adapt_window: float = 2e-3,
+        costs=None,
+        run_timers_for: float = 0.0,
+    ):
+        self.config = config or WeaverConfig()
+        self.tau = tau_controller.tau if tau_controller is not None else tau
+        self.nop_period = nop_period
+        self.heartbeat_period = heartbeat_period
+        self.gc_period = gc_period
+        self.tau_controller = tau_controller
+        self.adapt_window = adapt_window
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, latency=latency)
+        self.store = TransactionalStore()
+        self.mapping = ShardMapping(self.store, self.config.num_shards)
+        self.oracle = make_oracle(self.config.oracle_chain_length)
+        self.gatekeepers = [
+            Gatekeeper(i, self.config.num_gatekeepers, self.store)
+            for i in range(self.config.num_gatekeepers)
+        ]
+        self.shards = [
+            ShardServer(
+                i,
+                self.config.num_gatekeepers,
+                self.oracle,
+                self.config.use_ordering_cache,
+            )
+            for i in range(self.config.num_shards)
+        ]
+        self.manager = ClusterManager(
+            self.store, self.mapping,
+            heartbeat_timeout=2.5 * heartbeat_period,
+        )
+        # Optional service-time accounting: with a CostParams attached,
+        # gatekeepers and shards become serially-busy resources and the
+        # deployment yields protocol-level *performance*, not just
+        # protocol-level behaviour.
+        self.costs = costs
+        self._gk_servers = [
+            Server(self.simulator, gk.name) for gk in self.gatekeepers
+        ]
+        self._shard_servers = [
+            Server(self.simulator, s.name) for s in self.shards
+        ]
+        for gk in self.gatekeepers:
+            self.manager.register_gatekeeper(gk)
+        for shard in self.shards:
+            self.manager.register_shard(shard)
+        self.executor = ProgramExecutor()
+        self._seqnos: Dict[Tuple[int, int], int] = {}
+        self._handle_counter = itertools.count()
+        self._query_counter = itertools.count(1)
+        self._gk_rr = itertools.count()
+        # Waiting node programs: (ts, frontier, program, query_id, cb).
+        self._pending_programs: List[Tuple] = []
+        # Submitted but not yet completed (includes in-flight
+        # submissions that have not reached a gatekeeper yet).
+        self._programs_outstanding = 0
+        self.committed = 0
+        self.aborted = 0
+        self.program_latencies: List[float] = []
+        self._crashed: set = set()
+        # Per-shard epoch floor: a recovered shard reloaded everything
+        # committed before its recovery, so straggler deliveries stamped
+        # in earlier epochs must be dropped, not replayed.
+        self._min_epoch: Dict[int, int] = {}
+        self.recoveries = 0
+        self._timers_started = False
+        self.start_timers()
+        if run_timers_for:
+            self.simulator.run(until=run_timers_for)
+
+    # -- timers -------------------------------------------------------------
+
+    def start_timers(self) -> None:
+        if self._timers_started:
+            return
+        self._timers_started = True
+        # Stagger per-gatekeeper timers: real servers' clocks are not
+        # phase-aligned, and alignment would make every NOP round a set
+        # of mutually concurrent stamps no τ could ever order.
+        count = len(self.gatekeepers)
+        for gk in self.gatekeepers:
+            phase = (gk.index + 1) / count
+            self.simulator.schedule(
+                self.tau * phase, self._announce_tick, gk.index
+            )
+            self.simulator.schedule(
+                self.nop_period * phase, self._nop_tick, gk.index
+            )
+            self.simulator.schedule(
+                self.heartbeat_period, self._heartbeat_tick, gk.name
+            )
+        for shard in self.shards:
+            self.simulator.schedule(
+                self.heartbeat_period, self._heartbeat_tick, shard.name
+            )
+        self.simulator.schedule(self.gc_period, self._gc_tick)
+        self.simulator.schedule(
+            3 * self.heartbeat_period, self._detector_tick
+        )
+        if self.tau_controller is not None:
+            self._window_base = (0, 0, 0)
+            self.simulator.schedule(self.adapt_window, self._adapt_tick)
+
+    def _adapt_tick(self) -> None:
+        """One feedback-control window of the adaptive τ (section 3.5)."""
+        oracle_now = self.oracle_messages()
+        announce_now = self.announce_messages()
+        committed_now = self.committed
+        base_oracle, base_announce, base_committed = self._window_base
+        self.tau = self.tau_controller.observe(
+            oracle_now - base_oracle,
+            announce_now - base_announce,
+            committed_now - base_committed,
+        )
+        self._window_base = (oracle_now, announce_now, committed_now)
+        self.simulator.schedule(self.adapt_window, self._adapt_tick)
+
+    def _announce_tick(self, gk_index: int) -> None:
+        gk = self.gatekeepers[gk_index]
+        if gk.name in self._crashed:
+            return  # dead servers announce nothing; timer lapses
+        vector = gk.make_announce()
+        for peer in self.gatekeepers:
+            if peer.index == gk_index or peer.name in self._crashed:
+                continue
+            self.network.send(
+                gk.name,
+                peer.name,
+                peer.receive_announce,
+                vector,
+                kind="announce",
+            )
+        self.simulator.schedule(self.tau, self._announce_tick, gk_index)
+
+    def _nop_tick(self, gk_index: int) -> None:
+        gk = self.gatekeepers[gk_index]
+        if gk.name in self._crashed:
+            return
+        nop_ts = gk.make_nop()
+        for shard in self.shards:
+            self._send_to_shard(gk_index, shard.index, nop_ts, (), "nop")
+        self.simulator.schedule(self.nop_period, self._nop_tick, gk_index)
+
+    def _heartbeat_tick(self, name: str) -> None:
+        if name in self._crashed:
+            return  # the silence is what the detector listens for
+        self.manager.heartbeat(name, self.simulator.now)
+        self.simulator.schedule(
+            self.heartbeat_period, self._heartbeat_tick, name
+        )
+
+    def _detector_tick(self) -> None:
+        """The cluster manager's failure detector (section 4.3)."""
+        for name in self.manager.detect_failures(self.simulator.now):
+            if name in self._crashed:
+                self._recover(name)
+        self.simulator.schedule(
+            3 * self.heartbeat_period, self._detector_tick
+        )
+
+    def _gc_tick(self) -> None:
+        """Section 4.5 garbage collection, on a timer.
+
+        The watermark is the oldest in-flight program, or — when idle — a
+        clock snapshot; events and versions strictly below it can never
+        be read again.  Without this, the oracle's event DAG would grow
+        with every concurrent heartbeat pair for the run's lifetime.
+        """
+        if self._pending_programs:
+            watermark = self._pending_programs[0][0]
+        else:
+            watermark = self.gatekeepers[0].current_watermark()
+        # Oracle GC only: it uses pure vector-clock comparison, so the
+        # (non-unique) peeked watermark cannot mint new oracle decisions.
+        # Graph GC goes through refinable comparison and needs a real
+        # stamped watermark; callers run it explicitly when they care.
+        self.oracle.collect_below(watermark)
+        self.simulator.schedule(self.gc_period, self._gc_tick)
+
+    # -- channels -------------------------------------------------------
+
+    def _send_to_shard(
+        self,
+        gk_index: int,
+        shard_index: int,
+        ts: VectorTimestamp,
+        operations: Tuple[Operation, ...],
+        kind: str,
+    ) -> None:
+        channel = (gk_index, shard_index)
+        seqno = self._seqnos.get(channel, 0)
+        self._seqnos[channel] = seqno + 1
+        qtx = QueuedTransaction(ts, operations, seqno)
+        gk_name = self.gatekeepers[gk_index].name
+        shard = self.shards[shard_index]
+        self.network.send(
+            gk_name, shard.name, self._deliver, shard_index, gk_index,
+            qtx, kind=kind,
+        )
+
+    # -- failure injection (section 4.3, live) ---------------------------
+
+    def crash_gatekeeper(self, index: int) -> None:
+        """Silently kill one gatekeeper; its heartbeats stop, the
+        detector notices, and recovery runs — all on simulated time."""
+        self._crashed.add(self.gatekeepers[index].name)
+
+    def crash_shard(self, index: int) -> None:
+        self._crashed.add(self.shards[index].name)
+
+    def _recover(self, name: str) -> None:
+        if name.startswith("gk"):
+            index = int(name[2:])
+            replacement = self.manager.recover_gatekeeper(index)
+            self.gatekeepers[index] = replacement
+        else:
+            index = int(name[5:])
+            replacement = self.manager.recover_shard(index)
+            self.shards[index] = replacement
+            self._min_epoch[index] = self.manager.epoch
+        # Channel sequence numbers keep counting across the barrier —
+        # each (gatekeeper, shard) stream stays FIFO and monotone, and
+        # shards re-baseline their expected numbers after the epoch
+        # switch — so the sender side is left untouched.
+        self._crashed.discard(name)
+        self.recoveries += 1
+        # In-flight node programs die with the epoch: their snapshots
+        # predate the recovery timestamp and would miss reloaded state.
+        # Re-execute them with fresh stamps (section 4.3), as the client
+        # library would on resubmission.
+        self._restamp_pending_programs()
+        self.manager.heartbeat(name, self.simulator.now)
+        self.simulator.schedule(
+            self.heartbeat_period, self._heartbeat_tick, name
+        )
+        if name.startswith("gk"):
+            self.simulator.schedule(self.tau, self._announce_tick, index)
+            self.simulator.schedule(
+                self.nop_period, self._nop_tick, index
+            )
+
+    def _deliver(
+        self, shard_index: int, gk_index: int, qtx: QueuedTransaction
+    ) -> None:
+        shard = self.shards[shard_index]
+        if shard.name in self._crashed:
+            return  # messages to a dead server vanish
+        if qtx.ts.epoch < self._min_epoch.get(shard_index, 0):
+            return  # pre-recovery straggler: already in the reloaded state
+        shard.enqueue(gk_index, qtx)
+        shard.apply_available(
+            stop_before=self._earliest_pending_program_ts()
+        )
+        self._check_pending_programs()
+
+    def _earliest_pending_program_ts(self) -> Optional[VectorTimestamp]:
+        if not self._pending_programs:
+            return None
+        # Conservative: stop applying before ANY pending program; the
+        # readiness check per program refines this.
+        return self._pending_programs[0][0]
+
+    # -- client operations ---------------------------------------------
+
+    def new_handle(self, prefix: str = "v") -> str:
+        return f"{prefix}{next(self._handle_counter)}"
+
+    def submit_transaction(
+        self,
+        operations: List[Operation],
+        callback: Optional[Callable[[bool, Any], None]] = None,
+        new_vertices: Tuple[str, ...] = (),
+    ) -> None:
+        """Submit buffered operations from a client at current sim time."""
+        gk_index = next(self._gk_rr) % len(self.gatekeepers)
+        gk = self.gatekeepers[gk_index]
+        self.network.send(
+            "client",
+            gk.name,
+            self._gatekeeper_commit,
+            gk_index,
+            tuple(operations),
+            tuple(new_vertices),
+            callback,
+            kind="tx-submit",
+        )
+
+    def _gatekeeper_commit(
+        self,
+        gk_index: int,
+        operations: Tuple[Operation, ...],
+        new_vertices: Tuple[str, ...],
+        callback,
+        charged: bool = False,
+    ) -> None:
+        gk = self.gatekeepers[gk_index]
+        if self.costs is not None and not charged:
+            # Queue for the gatekeeper's service time (stamping + the
+            # backing-store commit round), then run the commit.
+            done = self._gk_servers[gk_index].occupy(
+                self.costs.gatekeeper_service
+                + self.costs.store_commit_service
+            )
+            self.simulator.schedule_at(
+                done,
+                self._gatekeeper_commit,
+                gk_index, operations, new_vertices, callback, True,
+            )
+            return
+        if gk.name in self._crashed:
+            # The request dies with the server; the client re-submits
+            # with a fresh stamp after recovery (section 4.3).
+            self.aborted += 1
+            if callback is not None:
+                callback(False, None)
+            return
+        store_tx = self.store.begin()
+        try:
+            for vertex in new_vertices:
+                self.mapping.assign(vertex, tx=store_tx)
+            for op in operations:
+                op.apply_store(store_tx, None)
+            ts = gk.commit_prepared(
+                store_tx, touched_vertices(operations)
+            )
+        except TransactionAborted as exc:
+            self.aborted += 1
+            if callback is not None:
+                callback(False, exc)
+            return
+        self.committed += 1
+        per_shard: Dict[int, List[Operation]] = {}
+        for op in operations:
+            (owner,) = op.touched()
+            shard = self.mapping.lookup(owner)
+            per_shard.setdefault(shard, []).append(op)
+        for shard_index, ops_list in per_shard.items():
+            self._send_to_shard(
+                gk_index, shard_index, ts, tuple(ops_list), "tx"
+            )
+        if callback is not None:
+            callback(True, ts)
+
+    def submit_program(
+        self,
+        program: NodeProgram,
+        start: str,
+        params: Any = None,
+        callback: Optional[Callable[[ProgramResult], None]] = None,
+    ) -> None:
+        """Submit a node program; executes once every shard is ready."""
+        gk_index = next(self._gk_rr) % len(self.gatekeepers)
+        gk = self.gatekeepers[gk_index]
+        self._programs_outstanding += 1
+        user_callback = callback
+
+        def callback(result) -> None:  # noqa: F811 — completion wrapper
+            self._programs_outstanding -= 1
+            if user_callback is not None:
+                user_callback(result)
+
+        def stamp_and_queue(charged: bool = False) -> None:
+            if self.costs is not None and not charged:
+                done = self._gk_servers[gk.index].occupy(
+                    self.costs.gatekeeper_service
+                )
+                self.simulator.schedule_at(done, stamp_and_queue, True)
+                return
+            ts = gk.issue_timestamp()
+            query_id = next(self._query_counter)
+            self._pending_programs.append(
+                (ts, [(start, params)], program, query_id,
+                 callback, self.simulator.now)
+            )
+            self._check_pending_programs()
+
+        self.network.send(
+            "client", gk.name, stamp_and_queue, kind="prog-submit"
+        )
+
+    def _restamp_pending_programs(self) -> None:
+        live = [
+            gk for gk in self.gatekeepers if gk.name not in self._crashed
+        ]
+        if not live:
+            return
+        restamped = []
+        for ts, frontier, program, query_id, callback, submitted in (
+            self._pending_programs
+        ):
+            fresh = live[query_id % len(live)].issue_timestamp()
+            restamped.append(
+                (fresh, frontier, program, query_id, callback, submitted)
+            )
+        self._pending_programs = restamped
+
+    def _check_pending_programs(self) -> None:
+        still_waiting = []
+        for entry in self._pending_programs:
+            ts, frontier, program, query_id, callback, submitted = entry
+            if all(shard.advance_to(ts) for shard in self.shards):
+                result = self.executor.execute(
+                    program, frontier, self._resolver(ts), ts, query_id
+                )
+                completion = self._charge_program_reads(result)
+                if completion <= self.simulator.now:
+                    self.program_latencies.append(
+                        self.simulator.now - submitted
+                    )
+                    if callback is not None:
+                        callback(result)
+                else:
+                    self.simulator.schedule_at(
+                        completion,
+                        self._finish_program,
+                        result, submitted, callback,
+                    )
+            else:
+                still_waiting.append(entry)
+        self._pending_programs = still_waiting
+
+    def _charge_program_reads(self, result) -> float:
+        """Occupy the shards a program read; returns its completion time
+        (now, when no cost model is attached)."""
+        if self.costs is None:
+            return self.simulator.now
+        per_shard: Dict[int, int] = {}
+        for handle in result.read_set:
+            shard_index = self.mapping.lookup(handle)
+            if shard_index is not None:
+                per_shard[shard_index] = per_shard.get(shard_index, 0) + 1
+        completion = self.simulator.now
+        for shard_index, count in per_shard.items():
+            done = self._shard_servers[shard_index].occupy(
+                count * self.costs.vertex_read_service
+            )
+            completion = max(completion, done)
+        return completion
+
+    def _finish_program(self, result, submitted: float, callback) -> None:
+        self.program_latencies.append(self.simulator.now - submitted)
+        if callback is not None:
+            callback(result)
+
+    def _resolver(self, ts: VectorTimestamp):
+        def resolve(handle: str):
+            shard_index = self.mapping.lookup(handle)
+            if shard_index is None:
+                return None
+            shard = self.shards[shard_index]
+            shard.stats.vertices_read += 1
+            snapshot = shard.graph.at(ts)
+            if not snapshot.has_vertex(handle):
+                return None
+            return snapshot.vertex(handle)
+
+        return resolve
+
+    # -- driving -------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.simulator.run(until=self.simulator.now + duration)
+
+    def run_until_quiet(self, max_extra: float = 1.0) -> None:
+        """Run until every submitted program has completed (bounded by
+        ``max_extra`` simulated seconds)."""
+        deadline = self.simulator.now + max_extra
+        step = max(self.nop_period, self.tau)
+        while (
+            self._programs_outstanding > 0
+            and self.simulator.now < deadline
+        ):
+            self.simulator.run(until=self.simulator.now + step)
+
+    # -- introspection --------------------------------------------------
+
+    def announce_messages(self) -> int:
+        return self.network.stats.count("announce")
+
+    def nop_messages(self) -> int:
+        return self.network.stats.count("nop")
+
+    def oracle_messages(self) -> int:
+        head = getattr(self.oracle, "head", self.oracle)
+        return head.stats.messages

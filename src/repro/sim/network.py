@@ -1,0 +1,110 @@
+"""A simulated message-passing network with FIFO channels.
+
+Weaver relies on FIFO channels between each gatekeeper-shard pair
+(section 4.2, maintained with sequence numbers in the real system).  The
+:class:`Network` here provides that guarantee directly: deliveries on one
+(src, dst) channel never reorder, even when latency jitter would have a
+later message overtake an earlier one.  Message counts are kept per
+message kind, which is how the Fig 14 experiment measures announce and
+oracle traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Optional, Tuple
+
+from .clock import USEC
+from .simulator import Simulator
+
+DEFAULT_LATENCY = 100 * USEC  # one-way LAN hop, gigabit-era
+
+
+class NetworkStats:
+    """Counters of messages sent, by kind."""
+
+    def __init__(self) -> None:
+        self.sent: Dict[str, int] = defaultdict(int)
+        self.total = 0
+
+    def record(self, kind: str) -> None:
+        self.sent[kind] += 1
+        self.total += 1
+
+    def count(self, kind: str) -> int:
+        return self.sent.get(kind, 0)
+
+    def reset(self) -> None:
+        self.sent.clear()
+        self.total = 0
+
+
+class Network:
+    """Latency-charging, FIFO-preserving message delivery."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = DEFAULT_LATENCY,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.simulator = simulator
+        self.latency = latency
+        self.jitter = jitter
+        self._rng = rng
+        self.stats = NetworkStats()
+        # Per-channel monotone delivery horizon and next sequence number.
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self._next_seqno: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def _sample_latency(self) -> float:
+        if self.jitter and self._rng is not None:
+            return self.latency + self._rng.random() * self.jitter
+        return self.latency
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        handler: Callable,
+        *args,
+        kind: str = "message",
+        latency: Optional[float] = None,
+    ) -> int:
+        """Deliver ``handler(*args)`` at ``dst`` after the channel latency.
+
+        Returns the channel sequence number assigned to the message.  FIFO
+        is enforced per (src, dst): a message is never delivered before one
+        sent earlier on the same channel.
+        """
+        channel = (src, dst)
+        seqno = self._next_seqno[channel]
+        self._next_seqno[channel] += 1
+        delay = latency if latency is not None else self._sample_latency()
+        deliver_at = self.simulator.now + delay
+        floor = self._last_delivery.get(channel, 0.0)
+        if deliver_at < floor:
+            deliver_at = floor
+        self._last_delivery[channel] = deliver_at
+        self.stats.record(kind)
+        self.simulator.schedule_at(deliver_at, handler, *args)
+        return seqno
+
+    def broadcast(
+        self,
+        src: str,
+        destinations,
+        handler_for: Callable[[str], Callable],
+        *args,
+        kind: str = "message",
+    ) -> None:
+        """Send the same payload to many destinations.
+
+        ``handler_for(dst)`` returns the delivery callable for each
+        destination, so each target can bind its own receive method.
+        """
+        for dst in destinations:
+            self.send(src, dst, handler_for(dst), *args, kind=kind)

@@ -1,0 +1,19 @@
+"""The transactional backing store (HyperDex Warp stand-in).
+
+A multi-versioned key-value store with optimistic multi-key transactions,
+plus the vertex-to-shard mapping Weaver keeps in it.
+"""
+
+from .versioned import VersionedCell
+from .kvstore import StoreTransaction, TransactionalStore
+from .distributed import DistributedStore, StoreNode
+from .mapping import ShardMapping
+
+__all__ = [
+    "VersionedCell",
+    "StoreTransaction",
+    "TransactionalStore",
+    "DistributedStore",
+    "StoreNode",
+    "ShardMapping",
+]

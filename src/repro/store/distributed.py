@@ -1,0 +1,252 @@
+"""A distributed, replicated backing store (the shape of HyperDex Warp).
+
+The single-object :class:`~repro.store.kvstore.TransactionalStore`
+provides the *contract* Weaver needs; this module provides the
+*deployment shape* the paper's backing store actually has: keys are
+partitioned across **store nodes** by consistent hashing, every key is
+replicated on ``replication`` consecutive nodes, and multi-key commits
+run a Warp-style **linear transaction** — validation and application
+flow through the involved key-owners in one canonical order (which is
+what makes conflicting transactions serialize without a global lock),
+with the message count recorded per commit.
+
+The class subclasses :class:`TransactionalStore`, overriding only the
+cell-routing internals, so everything built on the store — gatekeepers,
+shard recovery, demand paging — works unchanged on top of it, including
+after a store-node failure (any single node can be lost without losing
+committed data when ``replication`` >= 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import StoreError
+from .kvstore import TransactionalStore
+from .versioned import VersionedCell
+
+
+def _stable_hash(key: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class StoreNode:
+    """One storage server: a slice of the key space (plus replicas)."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.cells: Dict[str, VersionedCell] = {}
+        self.alive = True
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def name(self) -> str:
+        return f"store{self.index}"
+
+    def cell(self, key: str, create: bool = False) -> Optional[VersionedCell]:
+        if create:
+            return self.cells.setdefault(key, VersionedCell())
+        return self.cells.get(key)
+
+
+class DistributedStore(TransactionalStore):
+    """A partitioned, replicated drop-in for :class:`TransactionalStore`."""
+
+    def __init__(self, num_nodes: int = 4, replication: int = 2):
+        if num_nodes < 1:
+            raise ValueError("need at least one store node")
+        if not 1 <= replication <= num_nodes:
+            raise ValueError("replication must be in [1, num_nodes]")
+        super().__init__()
+        # The base class's _cells dict goes unused; routing replaces it.
+        self.nodes = [StoreNode(i) for i in range(num_nodes)]
+        self.replication = replication
+        self.chain_messages = 0
+        self.commit_chains: List[int] = []
+
+    # -- placement ---------------------------------------------------
+
+    def replicas_of(self, key: str) -> List[StoreNode]:
+        """The ``replication`` consecutive nodes owning ``key``."""
+        first = _stable_hash(key) % len(self.nodes)
+        return [
+            self.nodes[(first + i) % len(self.nodes)]
+            for i in range(self.replication)
+        ]
+
+    def _live_replicas(self, key: str) -> List[StoreNode]:
+        return [node for node in self.replicas_of(key) if node.alive]
+
+    def _read_replica(self, key: str) -> Optional[StoreNode]:
+        live = self._live_replicas(key)
+        return live[0] if live else None
+
+    # -- routing internals (override the base class's single dict) -------
+
+    def _read_cell(
+        self, key: str, snapshot: Optional[int]
+    ) -> Tuple[bool, Any, int]:
+        node = self._read_replica(key)
+        if node is None:
+            raise StoreError(
+                f"all replicas of {key!r} are down "
+                f"(replication={self.replication})"
+            )
+        node.reads += 1
+        cell = node.cell(key)
+        if cell is None:
+            return False, None, 0
+        return cell.read(snapshot)
+
+    def _commit(
+        self,
+        snapshot: int,
+        reads: Dict[str, int],
+        writes: Dict[str, Any],
+        deletes: Set[str],
+    ) -> int:
+        """A Warp-style linear transaction.
+
+        The involved key-owners form a chain in canonical (index) order;
+        validation walks forward through the chain, application walks
+        back.  Two conflicting transactions meet at their first shared
+        owner, where first-committer-wins applies — the same guarantee
+        as the base class, now with the distribution accounted.
+        """
+        involved: Set[int] = set()
+        for key in set(reads) | set(writes) | deletes:
+            for node in self._live_replicas(key):
+                involved.add(node.index)
+        chain = sorted(involved)
+        # Validation pass (forward through the chain).
+        for key, seen_version in reads.items():
+            _, _, current = self._latest(key)
+            if current != seen_version:
+                self.aborts += 1
+                from ..errors import TransactionAborted
+
+                raise TransactionAborted(f"read conflict on {key!r}")
+        for key in set(writes) | deletes:
+            _, _, current = self._latest(key)
+            if current > snapshot:
+                self.aborts += 1
+                from ..errors import TransactionAborted
+
+                raise TransactionAborted(f"write conflict on {key!r}")
+        # Application pass (backward), on every live replica.
+        self._commit_version += 1
+        version = self._commit_version
+        for key, value in writes.items():
+            for node in self._live_replicas(key):
+                node.writes += 1
+                node.cell(key, create=True).write(version, value)
+        for key in deletes:
+            for node in self._live_replicas(key):
+                node.writes += 1
+                node.cell(key, create=True).delete(version)
+        self.commits += 1
+        self.chain_messages += 2 * len(chain)
+        self.commit_chains.append(len(chain))
+        return version
+
+    def _latest(self, key: str) -> Tuple[bool, Any, int]:
+        node = self._read_replica(key)
+        if node is None:
+            raise StoreError(f"all replicas of {key!r} are down")
+        cell = node.cell(key)
+        if cell is None:
+            return False, None, 0
+        return cell.read(None)
+
+    # -- whole-store operations ------------------------------------------
+
+    def _all_keys(self) -> Set[str]:
+        keys: Set[str] = set()
+        for node in self.nodes:
+            if node.alive:
+                keys.update(node.cells)
+        return keys
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        for key in sorted(self._all_keys()):
+            if prefix and not key.startswith(prefix):
+                continue
+            exists, _, _ = self._read_cell(key, None)
+            if exists:
+                yield key
+
+    def snapshot(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {}
+        for key in self._all_keys():
+            exists, value, _ = self._read_cell(key, None)
+            if exists:
+                state[key] = value
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        if self._all_keys():
+            raise StoreError("restore requires an empty store")
+        self._commit_version += 1
+        for key, value in state.items():
+            for node in self._live_replicas(key):
+                node.cell(key, create=True).write(
+                    self._commit_version, value
+                )
+
+    def collect_below(self, version: int) -> int:
+        reclaimed = 0
+        for node in self.nodes:
+            for cell in node.cells.values():
+                reclaimed += cell.collect_below(version)
+        return reclaimed
+
+    # -- failure handling -------------------------------------------------
+
+    def fail_node(self, index: int) -> None:
+        """Crash one store node; keys remain served by their replicas."""
+        if not 0 <= index < len(self.nodes):
+            raise StoreError(f"no store node {index}")
+        live = sum(1 for node in self.nodes if node.alive)
+        if live <= 1:
+            raise StoreError("cannot fail the last store node")
+        self.nodes[index].alive = False
+
+    def recover_node(self, index: int) -> int:
+        """Bring a node back, re-replicating the keys it should own.
+
+        Returns the number of keys copied back onto it.
+        """
+        node = self.nodes[index]
+        node.alive = True
+        node.cells.clear()
+        copied = 0
+        for key in self._all_keys():
+            owners = self.replicas_of(key)
+            if node not in owners:
+                continue
+            source = next(
+                (n for n in owners if n.alive and n is not node and
+                 key in n.cells),
+                None,
+            )
+            if source is None:
+                continue
+            fresh = VersionedCell()
+            for version, exists, value in source.cells[key].history():
+                if exists:
+                    fresh.write(version, value)
+                else:
+                    fresh.delete(version)
+            node.cells[key] = fresh
+            copied += 1
+        return copied
+
+    @property
+    def mean_chain_length(self) -> float:
+        if not self.commit_chains:
+            return 0.0
+        return sum(self.commit_chains) / len(self.commit_chains)

@@ -1,0 +1,232 @@
+"""A transactional, multi-versioned key-value store.
+
+This is the reproduction's stand-in for HyperDex Warp (section 3.2): the
+durable system of record for the graph, providing atomic multi-key
+transactions with optimistic concurrency control.  Weaver relies on it
+for exactly two contracts, both provided here:
+
+* a transaction commits only if none of the data it read was modified by
+  a concurrently-committed transaction (abort-on-conflict, the "acyclic
+  transactions" guarantee the gatekeepers lean on in section 4.2), and
+* committed state survives shard failures (modelled by
+  :meth:`TransactionalStore.snapshot` / :meth:`restore`).
+
+The store is strictly a substrate: it orders commits with its own integer
+commit counter and knows nothing about vector timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
+
+from ..errors import StoreError, TransactionAborted, TransactionError
+from .versioned import VersionedCell
+
+
+class StoreTransaction:
+    """One optimistic transaction against a :class:`TransactionalStore`.
+
+    Reads are served from the snapshot taken at ``begin`` and recorded in
+    a read set; writes are buffered locally and become visible only at
+    commit.  Validation (first-committer-wins) checks that every key read
+    or written is unchanged since the snapshot.
+    """
+
+    def __init__(self, store: "TransactionalStore", snapshot: int):
+        self._store = store
+        self._snapshot = snapshot
+        self._reads: Dict[str, int] = {}
+        self._writes: Dict[str, Any] = {}
+        self._deletes: Set[str] = set()
+        self._done = False
+
+    @property
+    def snapshot(self) -> int:
+        return self._snapshot
+
+    @property
+    def read_set(self) -> Set[str]:
+        return set(self._reads)
+
+    @property
+    def write_set(self) -> Set[str]:
+        return set(self._writes) | self._deletes
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise TransactionError("transaction already committed/aborted")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` at the transaction snapshot (own writes win)."""
+        self._check_open()
+        if key in self._deletes:
+            return default
+        if key in self._writes:
+            return self._writes[key]
+        exists, value, version = self._store._read_cell(key, self._snapshot)
+        self._reads[key] = version
+        return value if exists else default
+
+    def exists(self, key: str) -> bool:
+        self._check_open()
+        if key in self._deletes:
+            return False
+        if key in self._writes:
+            return True
+        exists, _, version = self._store._read_cell(key, self._snapshot)
+        self._reads[key] = version
+        return exists
+
+    def put(self, key: str, value: Any) -> None:
+        self._check_open()
+        self._deletes.discard(key)
+        self._writes[key] = value
+
+    def delete(self, key: str) -> None:
+        self._check_open()
+        self._writes.pop(key, None)
+        self._deletes.add(key)
+
+    def commit(self) -> int:
+        """Validate and apply; returns the commit version.
+
+        Raises :class:`TransactionAborted` when any key in the read or
+        write set changed after the snapshot (a concurrent committer won).
+        """
+        self._check_open()
+        self._done = True
+        return self._store._commit(
+            self._snapshot, self._reads, self._writes, self._deletes
+        )
+
+    def abort(self) -> None:
+        self._check_open()
+        self._done = True
+
+
+class TransactionalStore:
+    """The shared, durable key-value store."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, VersionedCell] = {}
+        self._commit_version = 0
+        self.commits = 0
+        self.aborts = 0
+
+    @property
+    def version(self) -> int:
+        """The newest committed version."""
+        return self._commit_version
+
+    # -- transactional interface -------------------------------------
+
+    def begin(self) -> StoreTransaction:
+        return StoreTransaction(self, self._commit_version)
+
+    def transact(self, fn, retries: int = 10):
+        """Run ``fn(tx)`` with automatic retry on conflict.
+
+        ``fn`` receives a fresh :class:`StoreTransaction`; its return value
+        is returned after a successful commit.
+        """
+        last_error: Optional[TransactionAborted] = None
+        for _ in range(retries):
+            tx = self.begin()
+            try:
+                result = fn(tx)
+                tx.commit()
+                return result
+            except TransactionAborted as exc:
+                last_error = exc
+        raise last_error if last_error else StoreError("transact failed")
+
+    # -- non-transactional conveniences --------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        exists, value, _ = self._read_cell(key, None)
+        return value if exists else default
+
+    def exists(self, key: str) -> bool:
+        exists, _, _ = self._read_cell(key, None)
+        return exists
+
+    def keys(self, prefix: str = "") -> Iterator[str]:
+        """Currently-live keys, optionally filtered by prefix."""
+        for key, cell in self._cells.items():
+            if prefix and not key.startswith(prefix):
+                continue
+            exists, _, _ = cell.read(None)
+            if exists:
+                yield key
+
+    def read_at(self, key: str, version: int) -> Tuple[bool, Any]:
+        """Historical read at a specific commit version."""
+        exists, value, _ = self._read_cell(key, version)
+        return exists, value
+
+    # -- internals -------------------------------------------------------
+
+    def _read_cell(
+        self, key: str, snapshot: Optional[int]
+    ) -> Tuple[bool, Any, int]:
+        cell = self._cells.get(key)
+        if cell is None:
+            return False, None, 0
+        return cell.read(snapshot)
+
+    def _commit(
+        self,
+        snapshot: int,
+        reads: Dict[str, int],
+        writes: Dict[str, Any],
+        deletes: Set[str],
+    ) -> int:
+        # First-committer-wins validation: every key read must still be at
+        # the version we read, and every key written must not have moved
+        # past our snapshot (write-write conflicts abort too).
+        for key, seen_version in reads.items():
+            cell = self._cells.get(key)
+            current = cell.latest_version if cell is not None else 0
+            if current != seen_version:
+                self.aborts += 1
+                raise TransactionAborted(f"read conflict on {key!r}")
+        for key in set(writes) | deletes:
+            cell = self._cells.get(key)
+            if cell is not None and cell.latest_version > snapshot:
+                self.aborts += 1
+                raise TransactionAborted(f"write conflict on {key!r}")
+        self._commit_version += 1
+        version = self._commit_version
+        for key, value in writes.items():
+            self._cells.setdefault(key, VersionedCell()).write(version, value)
+        for key in deletes:
+            self._cells.setdefault(key, VersionedCell()).delete(version)
+        self.commits += 1
+        return version
+
+    # -- durability / recovery -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Materialize the latest committed state (for recovery tests)."""
+        state: Dict[str, Any] = {}
+        for key, cell in self._cells.items():
+            exists, value, _ = cell.read(None)
+            if exists:
+                state[key] = value
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Load a snapshot into an empty store."""
+        if self._cells:
+            raise StoreError("restore requires an empty store")
+        self._commit_version += 1
+        for key, value in state.items():
+            self._cells.setdefault(key, VersionedCell()).write(
+                self._commit_version, value
+            )
+
+    def collect_below(self, version: int) -> int:
+        """Garbage-collect versions superseded before ``version``."""
+        return sum(
+            cell.collect_below(version) for cell in self._cells.values()
+        )

@@ -1,0 +1,89 @@
+"""Versioned cells: the MVCC storage unit of the backing store.
+
+Every key in the backing store maps to a :class:`VersionedCell`, an
+append-only list of (version, value) records plus tombstones.  Reads at a
+snapshot version see the newest record at or below it; writers append.
+Versions are the store's own commit counter (plain integers) — the backing
+store is an independent substrate and knows nothing about Weaver's vector
+timestamps, exactly as HyperDex Warp knows nothing about them in the
+paper.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Tuple
+
+_TOMBSTONE = object()
+
+
+class VersionedCell:
+    """An append-only version chain for one key."""
+
+    __slots__ = ("_versions", "_values")
+
+    def __init__(self) -> None:
+        self._versions: List[int] = []
+        self._values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def latest_version(self) -> int:
+        """Version of the newest record, 0 when the cell is empty."""
+        return self._versions[-1] if self._versions else 0
+
+    def write(self, version: int, value: Any) -> None:
+        """Append a record; versions must be strictly increasing."""
+        if self._versions and version <= self._versions[-1]:
+            raise ValueError(
+                f"version must increase: {version} <= {self._versions[-1]}"
+            )
+        self._versions.append(version)
+        self._values.append(value)
+
+    def delete(self, version: int) -> None:
+        """Append a tombstone."""
+        self.write(version, _TOMBSTONE)
+
+    def read(self, snapshot: Optional[int] = None) -> Tuple[bool, Any, int]:
+        """Read at ``snapshot`` (latest when None).
+
+        Returns ``(exists, value, version)``.  ``version`` is the version
+        of the record that answered the read (0 when no record qualifies);
+        OCC validation compares it against the cell's latest version at
+        commit time.
+        """
+        if not self._versions:
+            return False, None, 0
+        if snapshot is None:
+            index = len(self._versions) - 1
+        else:
+            index = bisect.bisect_right(self._versions, snapshot) - 1
+            if index < 0:
+                return False, None, 0
+        value = self._values[index]
+        version = self._versions[index]
+        if value is _TOMBSTONE:
+            return False, None, version
+        return True, value, version
+
+    def collect_below(self, version: int) -> int:
+        """Drop records superseded before ``version``; keep the newest at
+        or below it so reads at >= ``version`` are unaffected.  Returns the
+        number of records dropped."""
+        keep_from = bisect.bisect_right(self._versions, version) - 1
+        if keep_from <= 0:
+            return 0
+        dropped = keep_from
+        del self._versions[:keep_from]
+        del self._values[:keep_from]
+        return dropped
+
+    def history(self) -> List[Tuple[int, bool, Any]]:
+        """Full version chain as (version, exists, value) triples."""
+        return [
+            (v, val is not _TOMBSTONE, None if val is _TOMBSTONE else val)
+            for v, val in zip(self._versions, self._values)
+        ]

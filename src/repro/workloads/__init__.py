@@ -1,0 +1,46 @@
+"""Workload generators and drivers for the evaluation."""
+
+from .graphs import (
+    adjacency,
+    load_into_weaver,
+    powerlaw_graph,
+    social_graph,
+    twitter_graph,
+    uniform_graph,
+    vertices_of,
+)
+from .tao import TAO_READ_FRACTION, TaoWorkload, apply_to_weaver
+from .bitcoin import (
+    BitcoinTx,
+    Block,
+    BlockchainGenerator,
+    load_into_explorer,
+    txs_in_block,
+)
+from .bitcoin import load_into_weaver as load_blockchain_into_weaver
+from .runner import RunReport, run_tao
+from .contention import ContentionReport, ZipfSampler, run_contention
+
+__all__ = [
+    "adjacency",
+    "load_into_weaver",
+    "powerlaw_graph",
+    "social_graph",
+    "twitter_graph",
+    "uniform_graph",
+    "vertices_of",
+    "TAO_READ_FRACTION",
+    "TaoWorkload",
+    "apply_to_weaver",
+    "BitcoinTx",
+    "Block",
+    "BlockchainGenerator",
+    "load_into_explorer",
+    "txs_in_block",
+    "load_blockchain_into_weaver",
+    "RunReport",
+    "run_tao",
+    "ContentionReport",
+    "ZipfSampler",
+    "run_contention",
+]

@@ -1,0 +1,132 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The evaluation uses LiveJournal (4.8M vertices, 68.9M edges), two Twitter
+snapshots (1.76M and 1.47B edges), and the Bitcoin blockchain.  None are
+shippable here, so we generate graphs with the property that drives each
+experiment's shape: a **power-law degree distribution** (preferential
+attachment), which reproduces the skewed contention of TAO workloads and
+the heavy-tailed reachable-set sizes of traversal workloads, at laptop
+scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Edge = Tuple[str, str]
+
+
+def vertex_name(i: int) -> str:
+    return f"n{i}"
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 4,
+    seed: int = 42,
+) -> List[Edge]:
+    """Directed preferential-attachment graph (Barabási-Albert style).
+
+    Every new vertex attaches ``edges_per_vertex`` out-edges to targets
+    sampled proportionally to current in-degree (plus one, so early
+    vertices with no edges remain reachable as targets).
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    # Repeated-targets list implements preferential sampling in O(1).
+    targets: List[int] = [0]
+    for v in range(1, num_vertices):
+        wanted = min(edges_per_vertex, v)
+        chosen = set()
+        while len(chosen) < wanted:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for u in chosen:
+            edges.append((vertex_name(v), vertex_name(u)))
+            targets.append(u)
+        targets.append(v)
+    return edges
+
+
+def uniform_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 42,
+) -> List[Edge]:
+    """Uniform random directed graph (no self loops, duplicates allowed
+    to be skipped)."""
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    seen = set()
+    while len(edges) < num_edges:
+        a = rng.randrange(num_vertices)
+        b = rng.randrange(num_vertices)
+        if a == b or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        edges.append((vertex_name(a), vertex_name(b)))
+    return edges
+
+
+def social_graph(
+    num_vertices: int = 2000, avg_out_degree: int = 7, seed: int = 42
+) -> List[Edge]:
+    """A LiveJournal-like stand-in: power-law, modest average degree."""
+    return powerlaw_graph(num_vertices, avg_out_degree, seed)
+
+
+def twitter_graph(
+    num_vertices: int = 1000, avg_out_degree: int = 4, seed: int = 7
+) -> List[Edge]:
+    """A small-Twitter-like stand-in for the traversal benchmarks."""
+    return powerlaw_graph(num_vertices, avg_out_degree, seed)
+
+
+def vertices_of(edges: Iterable[Edge]) -> List[str]:
+    """All vertex names appearing in an edge list, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for src, dst in edges:
+        seen.setdefault(src)
+        seen.setdefault(dst)
+    return list(seen)
+
+
+def adjacency(edges: Iterable[Edge]) -> Dict[str, List[str]]:
+    out: Dict[str, List[str]] = {}
+    for src, dst in edges:
+        out.setdefault(src, []).append(dst)
+        out.setdefault(dst, [])
+    return out
+
+
+def load_into_weaver(
+    client,
+    edges: Sequence[Edge],
+    batch_size: int = 500,
+    edge_prop: str = None,
+) -> Dict[str, str]:
+    """Bulk-load an edge list through the transactional API.
+
+    Returns a map from (src, dst) string pair key to edge handle so
+    workloads can later delete specific edges.  Batching many operations
+    per transaction keeps load time reasonable while still exercising the
+    full commit path.
+    """
+    handles: Dict[str, str] = {}
+    names = vertices_of(edges)
+    for i in range(0, len(names), batch_size):
+        with client.transaction() as tx:
+            for name in names[i:i + batch_size]:
+                tx.create_vertex(name)
+    for i in range(0, len(edges), batch_size):
+        with client.transaction() as tx:
+            for src, dst in edges[i:i + batch_size]:
+                handle = tx.create_edge(src, dst)
+                if edge_prop is not None:
+                    tx.set_edge_property(src, handle, edge_prop, True)
+                handles[f"{src}->{dst}"] = handle
+    return handles

@@ -1,0 +1,119 @@
+"""The Facebook TAO operation mix (Table 1).
+
+The social-network benchmark (section 6.2) replays TAO's measured
+operation distribution::
+
+    Reads  99.8%   get_edges  59.4%
+                   count_edges 11.7%
+                   get_node    28.9%
+    Writes  0.2%   create_edge 80.0%
+                   delete_edge 20.0%
+
+Fig 9b additionally runs the same relative mixes at 75% reads.  The
+generator keeps the within-class proportions fixed and exposes the
+read fraction as a parameter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+# Within-class proportions from Table 1.
+READ_MIX = (("get_edges", 0.594), ("count_edges", 0.117), ("get_node", 0.289))
+WRITE_MIX = (("create_edge", 0.80), ("delete_edge", 0.20))
+
+TAO_READ_FRACTION = 0.998
+
+Op = Tuple  # ("get_node", vertex) | ("create_edge", src, dst) | ...
+
+
+class TaoWorkload:
+    """A deterministic stream of TAO-mix operations over a graph.
+
+    ``edge_pool`` seeds deletable edges as (src, handle) pairs; created
+    edges join the pool so deletes always have a target.  Vertices are
+    sampled uniformly, matching the paper's use of the raw LiveJournal
+    snapshot.
+    """
+
+    def __init__(
+        self,
+        vertices: Sequence[str],
+        edge_pool: Optional[List[Tuple[str, str]]] = None,
+        read_fraction: float = TAO_READ_FRACTION,
+        seed: int = 1234,
+    ):
+        if not vertices:
+            raise ValueError("need vertices to operate on")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read fraction must be in [0, 1]")
+        self._vertices = list(vertices)
+        self._edge_pool = list(edge_pool or [])
+        self.read_fraction = read_fraction
+        self._rng = random.Random(seed)
+        self._created = 0
+        self.counts: Dict[str, int] = {}
+
+    def _pick_vertex(self) -> str:
+        return self._vertices[self._rng.randrange(len(self._vertices))]
+
+    def _pick(self, mix) -> str:
+        roll = self._rng.random()
+        acc = 0.0
+        for name, weight in mix:
+            acc += weight
+            if roll < acc:
+                return name
+        return mix[-1][0]
+
+    def next_op(self) -> Op:
+        """The next operation descriptor in the stream."""
+        if self._rng.random() < self.read_fraction:
+            kind = self._pick(READ_MIX)
+            op: Op = (kind, self._pick_vertex())
+        else:
+            kind = self._pick(WRITE_MIX)
+            if kind == "delete_edge" and not self._edge_pool:
+                kind = "create_edge"  # nothing to delete yet
+            if kind == "create_edge":
+                src = self._pick_vertex()
+                dst = self._pick_vertex()
+                handle = f"tao_e{self._created}"
+                self._created += 1
+                op = ("create_edge", src, dst, handle)
+            else:
+                index = self._rng.randrange(len(self._edge_pool))
+                src, handle = self._edge_pool.pop(index)
+                op = ("delete_edge", src, handle)
+        self.counts[op[0]] = self.counts.get(op[0], 0) + 1
+        return op
+
+    def note_created(self, src: str, handle: str) -> None:
+        """Record a successfully created edge as deletable."""
+        self._edge_pool.append((src, handle))
+
+    def stream(self, n: int) -> Iterator[Op]:
+        for _ in range(n):
+            yield self.next_op()
+
+
+def apply_to_weaver(client, op: Op, workload: TaoWorkload):
+    """Execute one TAO op through the Weaver client; returns its result."""
+    kind = op[0]
+    if kind == "get_edges":
+        return client.get_edges(op[1])
+    if kind == "count_edges":
+        return client.count_edges(op[1])
+    if kind == "get_node":
+        return client.get_node(op[1])
+    if kind == "create_edge":
+        _, src, dst, handle = op
+        created = client.transact(lambda tx: tx.create_edge(src, dst, handle))
+        workload.note_created(src, created)
+        return created
+    if kind == "delete_edge":
+        _, src, handle = op
+        client.transact(lambda tx: tx.delete_edge(src, handle))
+        return None
+    raise ValueError(f"unknown op {kind!r}")

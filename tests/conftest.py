@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gatekeeper import Gatekeeper, sync_announce_all
+from repro.db import Weaver, WeaverClient, WeaverConfig
+
+
+@pytest.fixture
+def db():
+    """A small two-gatekeeper, two-shard deployment."""
+    return Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+
+
+@pytest.fixture
+def client(db):
+    return WeaverClient(db)
+
+
+@pytest.fixture
+def gatekeepers():
+    """Three bare gatekeepers sharing a cluster size (no store)."""
+    return [Gatekeeper(i, 3) for i in range(3)]
+
+
+def announce(gatekeepers):
+    sync_announce_all(gatekeepers)
+
+
+@pytest.fixture
+def triangle(client):
+    """A 3-vertex directed triangle a->b->c->a with an extra a->c edge."""
+    with client.transaction() as tx:
+        for name in ("a", "b", "c"):
+            tx.create_vertex(name)
+        tx.create_edge("a", "b", "ab")
+        tx.create_edge("b", "c", "bc")
+        tx.create_edge("c", "a", "ca")
+        tx.create_edge("a", "c", "ac")
+    return client

@@ -1,0 +1,183 @@
+"""The analytics node programs: communities, components, triangles,
+weighted paths."""
+
+import pytest
+
+from repro.core.vclock import VectorClock
+from repro.graph.mvgraph import MultiVersionGraph
+from repro.programs import (
+    ComponentSize,
+    DegreeHistogram,
+    KHopNeighborhood,
+    LabelPropagation,
+    ProgramExecutor,
+    PushPageRank,
+    TriangleCount,
+    WeightedShortestPath,
+    params,
+)
+
+
+@pytest.fixture
+def world():
+    """Two weak components: {a,b,c} cyclic, {x,y} chain; a->b->c->a,
+    plus a weighted pair of routes a -> c (direct, heavy) vs a -> b -> c
+    (light)."""
+    clock = VectorClock(1, 0)
+    graph = MultiVersionGraph()
+    for v in ("a", "b", "c", "x", "y"):
+        graph.create_vertex(v, clock.tick())
+    graph.create_edge("ab", "a", "b", clock.tick())
+    graph.create_edge("bc", "b", "c", clock.tick())
+    graph.create_edge("ca", "c", "a", clock.tick())
+    graph.create_edge("ac", "a", "c", clock.tick())
+    graph.create_edge("xy", "x", "y", clock.tick())
+    graph.set_edge_property("a", "ab", "weight", 1.0, clock.tick())
+    graph.set_edge_property("b", "bc", "weight", 1.0, clock.tick())
+    graph.set_edge_property("a", "ac", "weight", 5.0, clock.tick())
+    ts = clock.tick()
+    view = graph.at(ts)
+
+    def resolve(handle):
+        return view.vertex(handle) if view.has_vertex(handle) else None
+
+    return resolve, ts
+
+
+def run(program, start, start_params, world):
+    resolve, ts = world
+    return ProgramExecutor().execute(
+        program, [(start, start_params)], resolve, ts
+    )
+
+
+class TestKHop:
+    def test_depths_recorded(self, world):
+        result = run(KHopNeighborhood(), "a", params(k=1, depth=0), world)
+        depths = dict(result.results)
+        assert depths["a"] == 0
+        assert depths["b"] == 1 and depths["c"] == 1
+        assert "x" not in depths
+
+    def test_k_zero_is_just_start(self, world):
+        result = run(KHopNeighborhood(), "a", params(k=0, depth=0), world)
+        assert dict(result.results) == {"a": 0}
+
+    def test_shorter_depth_wins_on_revisit(self, world):
+        result = run(KHopNeighborhood(), "a", params(k=3, depth=0), world)
+        depths = dict(result.results)
+        assert depths["c"] == 1  # via the direct a -> c edge
+
+
+class TestLabelPropagation:
+    def test_cycle_converges_to_minimum(self, world):
+        result = run(LabelPropagation(), "c", None, world)
+        labels = LabelPropagation.final_labels(result)
+        # 'a' is the lexicographic minimum in the cycle a->b->c->a.
+        assert labels["a"] == labels["b"] == labels["c"] == "a"
+
+    def test_other_component_untouched(self, world):
+        result = run(LabelPropagation(), "a", None, world)
+        labels = LabelPropagation.final_labels(result)
+        assert "x" not in labels and "y" not in labels
+
+
+class TestComponentSize:
+    def test_cycle_component(self, world):
+        result = run(ComponentSize(), "a", None, world)
+        assert ComponentSize.size(result) == 3
+
+    def test_chain_component(self, world):
+        result = run(ComponentSize(), "x", None, world)
+        assert ComponentSize.size(result) == 2
+
+
+class TestTriangleCount:
+    def test_triangle_through_a(self, world):
+        # a's neighbours {b, c}; b -> c closes a directed triangle.
+        result = run(TriangleCount(), "a", params(phase="center"), world)
+        assert TriangleCount.total(result) == 1
+
+    def test_no_triangles_on_chain(self, world):
+        result = run(TriangleCount(), "x", params(phase="center"), world)
+        assert TriangleCount.total(result) == 0
+
+
+class TestWeightedShortestPath:
+    def test_prefers_light_two_hop_route(self, world):
+        result = run(
+            WeightedShortestPath(),
+            "a",
+            params(target="c", dist=0.0),
+            world,
+        )
+        assert WeightedShortestPath.distance(result) == pytest.approx(2.0)
+
+    def test_unreachable_is_none(self, world):
+        result = run(
+            WeightedShortestPath(),
+            "x",
+            params(target="a", dist=0.0),
+            world,
+        )
+        assert WeightedShortestPath.distance(result) is None
+
+    def test_default_weight_is_one(self, world):
+        result = run(
+            WeightedShortestPath(),
+            "x",
+            params(target="y", dist=0.0),
+            world,
+        )
+        assert WeightedShortestPath.distance(result) == pytest.approx(1.0)
+
+
+class TestDegreeHistogram:
+    def test_histogram_of_component(self, world):
+        result = run(DegreeHistogram(), "a", params(k=None, depth=0), world)
+        hist = DegreeHistogram.histogram(result)
+        # a has out-degree 2; b and c have out-degree 1.
+        assert hist == {2: 1, 1: 2}
+
+    def test_depth_limited(self, world):
+        result = run(DegreeHistogram(), "a", params(k=0, depth=0), world)
+        assert DegreeHistogram.histogram(result) == {2: 1}
+
+
+class TestPushPageRank:
+    def test_mass_is_conserved(self, world):
+        result = run(PushPageRank(), "a", params(mass=1.0), world)
+        scores = PushPageRank.scores(result)
+        # Pushed mass either landed as rank or remains as sub-epsilon
+        # residuals; with epsilon=1e-4 the total is within a few percent.
+        assert sum(scores.values()) == pytest.approx(1.0, abs=0.05)
+
+    def test_seed_scores_highest_from_itself(self, world):
+        result = run(PushPageRank(), "a", params(mass=1.0), world)
+        scores = PushPageRank.scores(result)
+        assert scores["a"] == max(scores.values())
+
+    def test_unreached_component_has_no_score(self, world):
+        result = run(PushPageRank(), "a", params(mass=1.0), world)
+        scores = PushPageRank.scores(result)
+        assert "x" not in scores
+
+    def test_dangling_vertex_keeps_mass(self, world):
+        result = run(PushPageRank(), "y", params(mass=1.0), world)
+        scores = PushPageRank.scores(result)
+        assert scores == {"y": pytest.approx(1.0)}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PushPageRank(damping=1.5)
+        with pytest.raises(ValueError):
+            PushPageRank(epsilon=0)
+
+
+class TestEndToEnd:
+    def test_analytics_on_live_database(self, triangle):
+        from repro.programs import ComponentSize as CS
+
+        db = triangle.db
+        result = db.run_program(CS(), "a")
+        assert CS.size(result) == 3

@@ -1,0 +1,222 @@
+"""The baseline systems: Titan-like 2PL/2PC, GraphLab-like GAS,
+Blockchain.info-like relational explorer."""
+
+import pytest
+
+from repro.baselines.blockchain_info import RelationalExplorer
+from repro.baselines.graphlab import BfsProgram, GraphLab
+from repro.baselines.titan import TitanGraph
+from repro.bench.costmodel import CostParams
+from repro.errors import NoSuchVertex, TransactionAborted
+
+
+class TestTitanFunctional:
+    def make(self):
+        titan = TitanGraph(num_shards=2)
+        titan.execute([("create_vertex", "a")], 0.0)
+        titan.execute([("create_vertex", "b")], 0.0)
+        return titan
+
+    def test_create_vertex_and_edge(self):
+        titan = self.make()
+        titan.execute([("create_edge", "e", "a", "b")], 0.0)
+        node, _ = titan.get_node("a", 0.0)
+        assert node["out_degree"] == 1
+
+    def test_duplicate_vertex_aborts(self):
+        titan = self.make()
+        with pytest.raises(TransactionAborted):
+            titan.execute([("create_vertex", "a")], 0.0)
+        assert titan.stats.aborts == 1
+
+    def test_edge_to_missing_destination_aborts(self):
+        titan = self.make()
+        with pytest.raises(TransactionAborted):
+            titan.execute([("create_edge", "e", "a", "ghost")], 0.0)
+
+    def test_delete_edge(self):
+        titan = self.make()
+        titan.execute([("create_edge", "e", "a", "b")], 0.0)
+        titan.execute([("delete_edge", "a", "e")], 0.0)
+        count, _ = titan.count_edges("a", 0.0)
+        assert count == 0
+
+    def test_properties(self):
+        titan = self.make()
+        titan.execute([("set_vertex_property", "a", "k", 1)], 0.0)
+        titan.execute([("create_edge", "e", "a", "b")], 0.0)
+        titan.execute([("set_edge_property", "a", "e", "w", 2)], 0.0)
+        node, _ = titan.get_node("a", 0.0)
+        edges, _ = titan.get_edges("a", 0.0)
+        assert node["properties"] == {"k": 1}
+        assert edges[0]["properties"] == {"w": 2}
+
+    def test_read_missing_vertex_raises(self):
+        titan = self.make()
+        with pytest.raises(NoSuchVertex):
+            titan.get_node("ghost", 0.0)
+
+    def test_load_and_reachability(self):
+        titan = TitanGraph()
+        titan.load([("a", "b"), ("b", "c")])
+        assert titan.reachable("a", "c")
+        assert not titan.reachable("c", "a")
+
+    def test_unknown_operation_rejected(self):
+        titan = self.make()
+        with pytest.raises(ValueError):
+            titan.execute([("explode",)], 0.0)
+
+
+class TestTitanCostModel:
+    def test_operations_take_time(self):
+        titan = TitanGraph()
+        finish = titan.execute([("create_vertex", "a")], 0.0)
+        assert finish > 0.0
+
+    def test_coordinator_serializes_throughput(self):
+        # Back-to-back transactions queue at the coordinator: the gap
+        # between completions converges to the coordinator service time.
+        titan = TitanGraph()
+        costs = titan.costs
+        finishes = [
+            titan.execute([("create_vertex", f"v{i}")], 0.0)
+            for i in range(20)
+        ]
+        gaps = [b - a for a, b in zip(finishes, finishes[1:])]
+        assert gaps[-1] == pytest.approx(
+            costs.titan_coordinator_service, rel=0.01
+        )
+
+    def test_conflicting_transactions_wait_for_locks(self):
+        # The lock-wait path: a transaction whose lock point falls inside
+        # another's hold window is delayed to the hold's end.
+        titan = TitanGraph()
+        titan.execute([("create_vertex", "a")], 0.0)
+        titan.locks.hold_until("a", 1.0)  # a long-running holder
+        t = titan.execute([("set_vertex_property", "a", "k", 1)], 0.0)
+        assert t > 1.0
+        assert titan.locks.contention_rate > 0
+
+    def test_serial_transactions_spaced_by_coordinator_not_locks(self):
+        # With one coordinator at 500 us per transaction, same-object
+        # transactions are already spaced past each other's lock holds:
+        # the coordinator, not the lock table, is Titan's bottleneck.
+        titan = TitanGraph()
+        titan.execute([("create_vertex", "a")], 0.0)
+        t1 = titan.execute([("set_vertex_property", "a", "k", 1)], 0.0)
+        t2 = titan.execute([("set_vertex_property", "a", "k", 2)], 0.0)
+        assert t2 - t1 == pytest.approx(
+            titan.costs.titan_coordinator_service, rel=0.01
+        )
+
+    def test_reads_also_pay_coordination(self):
+        titan = TitanGraph()
+        titan.execute([("create_vertex", "a")], 0.0)
+        _, t_read = titan.get_node("a", 0.0)
+        assert t_read >= titan.costs.rtt
+
+
+class TestGraphLab:
+    EDGES = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+
+    def test_sync_and_async_agree_with_reference(self):
+        for mode in ("sync", "async"):
+            engine = GraphLab(mode=mode)
+            engine.load(self.EDGES)
+            for src in "abcd":
+                for dst in "abcd":
+                    got, _ = engine.reachability(src, dst)
+                    assert got == engine.reachable_reference(src, dst), (
+                        mode, src, dst,
+                    )
+
+    def test_bfs_distances(self):
+        engine = GraphLab(mode="sync")
+        engine.load(self.EDGES)
+        distances, _ = engine.bfs_distances("a")
+        assert distances["a"] == 0
+        assert distances["b"] == 1
+        assert distances["d"] == 2
+
+    def test_unknown_source_unreachable(self):
+        engine = GraphLab()
+        engine.load(self.EDGES)
+        reached, _ = engine.reachability("ghost", "a")
+        assert not reached
+
+    def test_sync_pays_barrier_per_round(self):
+        costs = CostParams()
+        engine = GraphLab(mode="sync", costs=costs)
+        engine.load(self.EDGES)
+        _, finish = engine.bfs_distances("a")
+        # Three propagation waves minimum -> at least 3 barriers.
+        assert finish >= 3 * costs.barrier_cost
+
+    def test_async_faster_than_sync_on_deep_graphs(self):
+        chain = [(f"n{i}", f"n{i+1}") for i in range(30)]
+        sync = GraphLab(mode="sync")
+        sync.load(chain)
+        _, t_sync = sync.reachability("n0", "n30")
+        async_engine = GraphLab(mode="async")
+        async_engine.load(chain)
+        _, t_async = async_engine.reachability("n0", "n30")
+        assert t_async < t_sync
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GraphLab(mode="warp")
+
+    def test_updates_counted(self):
+        engine = GraphLab(mode="sync")
+        engine.load(self.EDGES)
+        engine.bfs_distances("a")
+        assert engine.updates > 0
+
+
+class TestRelationalExplorer:
+    def make(self):
+        explorer = RelationalExplorer()
+        explorer.insert_block("blk1", {"height": 1})
+        for i in range(3):
+            explorer.insert_transaction(f"t{i}", "blk1", {"value": i})
+        return explorer
+
+    def test_render_block_contents(self):
+        explorer = self.make()
+        result, _ = explorer.render_block("blk1")
+        assert result["n_tx"] == 3
+        assert {row["tx"] for row in result["transactions"]} == {
+            "t0", "t1", "t2",
+        }
+
+    def test_latency_linear_in_transactions(self):
+        explorer = self.make()
+        _, t3 = explorer.render_block("blk1")
+        explorer.insert_block("blk2", {"height": 2})
+        _, t0 = explorer.render_block("blk2")
+        costs = explorer.costs
+        assert t3 - t0 == pytest.approx(3 * costs.sql_row_service)
+
+    def test_wan_latency_charged(self):
+        explorer = self.make()
+        explorer.insert_block("empty", {"height": 3})
+        _, t = explorer.render_block("empty")
+        assert t == pytest.approx(2 * explorer.costs.wan_latency)
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(KeyError):
+            self.make().render_block("ghost")
+
+    def test_transaction_for_unknown_block_raises(self):
+        explorer = RelationalExplorer()
+        with pytest.raises(KeyError):
+            explorer.insert_transaction("t", "ghost", {})
+
+    def test_counters(self):
+        explorer = self.make()
+        explorer.render_block("blk1")
+        assert explorer.queries == 1
+        assert explorer.rows_joined == 3
+        assert explorer.num_blocks == 1
+        assert explorer.num_transactions == 3

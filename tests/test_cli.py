@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--figure", "fig99"])
+
+    def test_tao_defaults(self):
+        args = build_parser().parse_args(["tao"])
+        assert args.ops == 500
+        assert args.read_fraction == pytest.approx(0.998)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Weaver" in out and "gatekeepers" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert "checkpoint" in out
+        assert "failover" in out
+
+    def test_tao_small(self, capsys):
+        assert main(["tao", "--ops", "40", "--vertices", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "failures" in out
+        assert "| 0" in out  # zero failures
+
+    def test_bench_fig7(self, capsys):
+        assert main(["bench", "--figure", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "350000" in out and "speedup" in out
+
+    def test_bench_fig14(self, capsys):
+        assert main(["bench", "--figure", "fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle/query" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--writes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "crashed" in out and "recovered" in out
+        assert "post-recovery read of v0: ok" in out
+
+    def test_bench_fig10(self, capsys):
+        assert main(["bench", "--figure", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "Weaver" in result.stdout

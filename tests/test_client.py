@@ -1,0 +1,172 @@
+"""The client API: helpers and retry behaviour."""
+
+import pytest
+
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.errors import TransactionAborted
+
+
+class TestConveniences:
+    def test_create_vertex_and_get_node(self, client):
+        client.create_vertex("a")
+        node = client.get_node("a")
+        assert node["handle"] == "a"
+        assert node["out_degree"] == 0
+
+    def test_create_edge_and_get_edges(self, client):
+        client.create_vertex("a")
+        client.create_vertex("b")
+        handle = client.create_edge("a", "b")
+        edges = client.get_edges("a")
+        assert [e["handle"] for e in edges] == [handle]
+        assert edges[0]["nbr"] == "b"
+
+    def test_count_edges(self, triangle):
+        assert triangle.count_edges("a") == 2
+        assert triangle.count_edges("b") == 1
+
+    def test_get_edges_filtered_by_property(self, client):
+        client.create_vertex("a")
+        client.create_vertex("b")
+        client.create_vertex("c")
+
+        def build(tx):
+            e1 = tx.create_edge("a", "b")
+            tx.set_edge_property("a", e1, "follows", True)
+            tx.create_edge("a", "c")
+
+        client.transact(build)
+        assert len(client.get_edges("a", edge_prop="follows")) == 1
+        assert client.count_edges("a", edge_prop="follows") == 1
+
+    def test_delete_vertex(self, client):
+        client.create_vertex("a")
+        client.delete_vertex("a")
+        from repro.programs import GetNode
+
+        assert client.db.run_program(GetNode(), "a").results == []
+
+    def test_set_property(self, client):
+        client.create_vertex("a")
+        client.set_property("a", "name", "alice")
+        assert client.get_node("a")["properties"]["name"] == "alice"
+
+
+class TestTraversals:
+    def test_traverse_visits_in_bfs_order(self, triangle):
+        assert triangle.traverse("a") == ["a", "b", "c"]
+
+    def test_traverse_max_depth(self, triangle):
+        assert triangle.traverse("a", max_depth=0) == ["a"]
+
+    def test_reachable_true_false(self, triangle):
+        assert triangle.reachable("a", "c")
+        client = triangle
+        client.create_vertex("island")
+        assert not client.reachable("a", "island")
+
+    def test_shortest_path_length(self, triangle):
+        assert triangle.shortest_path_length("a", "c") == 1
+        assert triangle.shortest_path_length("b", "a") == 2
+
+    def test_shortest_path_unreachable_is_none(self, triangle):
+        triangle.create_vertex("island")
+        assert triangle.shortest_path_length("a", "island") is None
+
+    def test_find_path(self, triangle):
+        path = triangle.find_path("b", "a")
+        assert path == ["b", "c", "a"]
+
+    def test_find_path_none(self, triangle):
+        triangle.create_vertex("island")
+        assert triangle.find_path("a", "island") is None
+
+    def test_traverse_with_edge_property(self, client):
+        client.create_vertex("a")
+        client.create_vertex("b")
+        client.create_vertex("c")
+
+        def build(tx):
+            e1 = tx.create_edge("a", "b")
+            tx.set_edge_property("a", e1, "colored", True)
+            tx.create_edge("a", "c")
+
+        client.transact(build)
+        assert client.traverse("a", edge_prop="colored") == ["a", "b"]
+
+    def test_clustering_coefficient_triangle(self, client):
+        # Complete directed triangle: coefficient 1.0 at every vertex.
+        with client.transaction() as tx:
+            for v in ("x", "y", "z"):
+                tx.create_vertex(v)
+            for src in ("x", "y", "z"):
+                for dst in ("x", "y", "z"):
+                    if src != dst:
+                        tx.create_edge(src, dst)
+        assert client.clustering_coefficient("x") == pytest.approx(1.0)
+
+    def test_clustering_coefficient_star(self, client):
+        # Hub with unconnected leaves: coefficient 0.
+        with client.transaction() as tx:
+            tx.create_vertex("hub")
+            for i in range(3):
+                leaf = tx.create_vertex(f"leaf{i}")
+                tx.create_edge("hub", leaf)
+        assert client.clustering_coefficient("hub") == 0.0
+
+    def test_clustering_coefficient_degree_one(self, client):
+        with client.transaction() as tx:
+            tx.create_vertex("a")
+            tx.create_vertex("b")
+            tx.create_edge("a", "b")
+        assert client.clustering_coefficient("a") == 0.0
+
+
+class TestTransactRetry:
+    def test_transact_returns_value(self, client):
+        assert client.transact(lambda tx: tx.create_vertex("a")) == "a"
+
+    def test_transact_retries_conflicts(self, client):
+        client.create_vertex("a")
+        attempts = []
+
+        def racy(tx):
+            attempts.append(1)
+            tx.set_property("a", "k", len(attempts))
+            if len(attempts) == 1:
+                # A competing committed write forces an OCC conflict.
+                other = client.db.begin_transaction()
+                other.set_property("a", "k", 0)
+                other.commit()
+
+        client.transact(racy)
+        assert len(attempts) == 2
+        assert client.get_node("a")["properties"]["k"] == 2
+
+    def test_transact_raises_after_exhaustion(self, db):
+        client = WeaverClient(db, max_retries=2)
+        client.create_vertex("a")
+
+        def always_racy(tx):
+            tx.set_property("a", "k", 1)
+            other = db.begin_transaction()
+            other.set_property("a", "k", 0)
+            other.commit()
+
+        with pytest.raises(TransactionAborted):
+            client.transact(always_racy)
+
+
+class TestRenderBlock:
+    def test_render_block(self, client):
+        with client.transaction() as tx:
+            tx.create_vertex("blk")
+            tx.set_property("blk", "height", 7)
+            for i in range(3):
+                tx.create_vertex(f"t{i}")
+                edge = tx.create_edge("blk", f"t{i}")
+                tx.set_edge_property("blk", edge, "tx", True)
+        block = client.render_block("blk")
+        assert block["n_tx"] == 3
+        assert block["header"] == {"height": 7}
+        assert {t["tx"] for t in block["transactions"]} == {"t0", "t1", "t2"}

@@ -1,0 +1,236 @@
+"""The analytic cost model: resources, locks, closed loops, metrics."""
+
+import pytest
+
+from repro.bench.costmodel import (
+    ClosedLoop,
+    CostParams,
+    LockTable,
+    Resource,
+)
+from repro.bench.metrics import LatencyRecorder, percentile, throughput
+from repro.bench.models import CoinGraphModel, WeaverModel
+from repro.bench.report import format_series, format_table, ratio_check
+
+
+class TestResource:
+    def test_idle_serves_at_start(self):
+        r = Resource()
+        assert r.acquire(1.0, 0.5) == 1.5
+
+    def test_queueing(self):
+        r = Resource()
+        r.acquire(0.0, 1.0)
+        assert r.acquire(0.5, 1.0) == 2.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Resource().acquire(0.0, -1)
+
+    def test_utilization(self):
+        r = Resource()
+        r.acquire(0.0, 1.0)
+        assert r.utilization(4.0) == pytest.approx(0.25)
+
+    def test_job_counter(self):
+        r = Resource()
+        r.acquire(0, 1)
+        r.acquire(0, 1)
+        assert r.jobs == 2
+
+
+class TestLockTable:
+    def test_uncontended_grant_immediate(self):
+        locks = LockTable()
+        assert locks.lock("a", 1.0) == 1.0
+        assert locks.contended == 0
+
+    def test_contended_grant_waits(self):
+        locks = LockTable()
+        locks.hold_until("a", 2.0)
+        assert locks.lock("a", 1.0) == 2.0
+        assert locks.contended == 1
+
+    def test_lock_all_sorted_and_max(self):
+        locks = LockTable()
+        locks.hold_until("b", 3.0)
+        grant = locks.lock_all(["a", "b"], 1.0)
+        assert grant == 3.0
+
+    def test_hold_until_never_shrinks(self):
+        locks = LockTable()
+        locks.hold_until("a", 5.0)
+        locks.hold_until("a", 2.0)
+        assert locks.lock("a", 0.0) == 5.0
+
+    def test_contention_rate(self):
+        locks = LockTable()
+        locks.hold_until("a", 1.0)
+        locks.lock("a", 0.0)
+        locks.lock("b", 0.0)
+        assert locks.contention_rate == pytest.approx(0.5)
+
+
+class TestClosedLoop:
+    def test_throughput_of_fixed_latency_op(self):
+        loop = ClosedLoop(4)
+        run = loop.run(100, lambda c, i, start: start + 0.01)
+        # 4 clients, 10 ms per op -> 400 ops/s.
+        assert run.throughput == pytest.approx(400, rel=0.05)
+
+    def test_latencies_recorded(self):
+        run = ClosedLoop(1).run(5, lambda c, i, s: s + 0.5)
+        assert run.mean_latency == pytest.approx(0.5)
+        assert run.operations == 5
+
+    def test_bottleneck_resource_caps_throughput(self):
+        server = Resource()
+        run = ClosedLoop(16).run(
+            200, lambda c, i, s: server.acquire(s, 0.001)
+        )
+        assert run.throughput == pytest.approx(1000, rel=0.05)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedLoop(0)
+
+    def test_time_travel_rejected(self):
+        loop = ClosedLoop(1)
+        with pytest.raises(ValueError):
+            loop.run(1, lambda c, i, s: s - 1)
+
+
+class TestWeaverModel:
+    def test_read_hits_gatekeeper_and_shard(self):
+        model = WeaverModel(num_gatekeepers=1, num_shards=1)
+        finish = model.read_program(0.0)
+        assert finish > 0
+        assert model.gatekeepers[0].jobs == 1
+        assert model.shards[0].jobs == 1
+
+    def test_write_hits_store(self):
+        model = WeaverModel()
+        model.write_tx(0.0)
+        assert sum(node.jobs for node in model.store_nodes) == 1
+
+    def test_write_latency_dominated_by_store_commit(self):
+        model = WeaverModel()
+        finish = model.write_tx(0.0)
+        assert finish >= model.costs.store_commit_service
+
+    def test_reads_cheaper_than_writes(self):
+        model = WeaverModel()
+        read = model.read_program(0.0)
+        model2 = WeaverModel()
+        write = model2.write_tx(0.0)
+        assert read < write
+
+    def test_reactive_fraction_pays_oracle(self):
+        model = WeaverModel(reactive_fraction=1.0)
+        model.read_program(0.0)
+        assert model.oracle.jobs == 1
+        assert model.oracle_trips == 1
+
+    def test_zero_reactive_never_touches_oracle(self):
+        model = WeaverModel(reactive_fraction=0.0)
+        for _ in range(10):
+            model.read_program(0.0)
+        assert model.oracle.jobs == 0
+
+    def test_gatekeepers_round_robin(self):
+        model = WeaverModel(num_gatekeepers=2)
+        model.read_program(0.0)
+        model.read_program(0.0)
+        assert model.gatekeepers[0].jobs == 1
+        assert model.gatekeepers[1].jobs == 1
+
+    def test_multi_shard_read_parallelizes(self):
+        serial = WeaverModel(num_gatekeepers=1, num_shards=1)
+        parallel = WeaverModel(num_gatekeepers=1, num_shards=8)
+        work = dict(vertices_read=1000, work_per_vertex=1e-5)
+        t_serial = serial.read_program(0.0, shards_involved=1, **work)
+        t_parallel = parallel.read_program(0.0, shards_involved=8, **work)
+        assert t_parallel < t_serial
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            WeaverModel(num_gatekeepers=0)
+        with pytest.raises(ValueError):
+            WeaverModel(reactive_fraction=2.0)
+
+
+class TestCoinGraphModel:
+    def test_latency_linear_in_txs(self):
+        model = CoinGraphModel()
+        small = model.block_query_latency(10)
+        large = model.block_query_latency(100)
+        assert large > 5 * small
+
+    def test_block_query_occupies_shards(self):
+        model = CoinGraphModel(num_shards=2)
+        model.block_query(10, 0.0)
+        model.block_query(10, 0.0)
+        assert model.shards[0].jobs == 1
+        assert model.shards[1].jobs == 1
+
+
+class TestMetrics:
+    def test_percentile_interpolation(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 50) == pytest.approx(2.5)
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_recorder_summary(self):
+        recorder = LatencyRecorder()
+        recorder.extend([0.1, 0.2, 0.3])
+        summary = recorder.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.3)
+
+    def test_recorder_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_cdf_monotone_and_complete(self):
+        recorder = LatencyRecorder()
+        recorder.extend([3.0, 1.0, 2.0])
+        cdf = recorder.cdf(points=3)
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert cdf[-1][1] == 1.0
+
+    def test_throughput(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(100, 0.0) == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["x", "yy"], [[1, 2.5], [10, 0.25]])
+        assert "T" in text and "x" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("cdf", [(0.1, 0.5), (0.2, 1.0)])
+        assert text.startswith("cdf:")
+
+    def test_ratio_check_ok(self):
+        assert "[OK]" in ratio_check("x", 10.0, 10.9)
+
+    def test_ratio_check_differs(self):
+        assert "[DIFFERS]" in ratio_check("x", 1.0, 10.9)

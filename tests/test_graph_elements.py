@@ -1,0 +1,166 @@
+"""Lifespans, property bags, vertices and edges of the MV graph."""
+
+import pytest
+
+from repro.core.vclock import VectorClock
+from repro.graph.elements import Edge, Vertex
+from repro.graph.properties import LifeSpan, PropertyBag, vclock_compare
+
+
+@pytest.fixture
+def clock():
+    return VectorClock(1, 0)
+
+
+class TestLifeSpan:
+    def test_visible_after_creation(self, clock):
+        span = LifeSpan(clock.tick())
+        later = clock.tick()
+        assert span.visible_at(later, vclock_compare)
+
+    def test_invisible_before_creation(self, clock):
+        early = clock.tick()
+        span = LifeSpan(clock.tick())
+        assert not span.visible_at(early, vclock_compare)
+
+    def test_invisible_at_creation_instant(self, clock):
+        ts = clock.tick()
+        span = LifeSpan(ts)
+        assert not span.visible_at(ts, vclock_compare)
+
+    def test_deleted_invisible_after_deletion(self, clock):
+        span = LifeSpan(clock.tick())
+        span.delete(clock.tick())
+        later = clock.tick()
+        assert not span.visible_at(later, vclock_compare)
+
+    def test_still_visible_between_create_and_delete(self, clock):
+        span = LifeSpan(clock.tick())
+        middle = clock.tick()
+        span.delete(clock.tick())
+        assert span.visible_at(middle, vclock_compare)
+
+    def test_double_delete_rejected(self, clock):
+        span = LifeSpan(clock.tick())
+        span.delete(clock.tick())
+        with pytest.raises(ValueError):
+            span.delete(clock.tick())
+
+    def test_dead_before(self, clock):
+        span = LifeSpan(clock.tick())
+        span.delete(clock.tick())
+        later = clock.tick()
+        assert span.dead_before(later, vclock_compare)
+        assert not LifeSpan(clock.tick()).dead_before(
+            clock.tick(), vclock_compare
+        )
+
+
+class TestPropertyBag:
+    def test_get_visible_value(self, clock):
+        bag = PropertyBag()
+        bag.assign("color", "red", clock.tick())
+        assert bag.get("color", clock.tick(), vclock_compare) == "red"
+
+    def test_get_default_when_missing(self, clock):
+        bag = PropertyBag()
+        assert bag.get("x", clock.tick(), vclock_compare, default=7) == 7
+
+    def test_reassign_supersedes(self, clock):
+        bag = PropertyBag()
+        bag.assign("color", "red", clock.tick())
+        bag.assign("color", "blue", clock.tick())
+        assert bag.get("color", clock.tick(), vclock_compare) == "blue"
+
+    def test_point_in_time_reads_old_value(self, clock):
+        bag = PropertyBag()
+        bag.assign("color", "red", clock.tick())
+        middle = clock.tick()
+        bag.assign("color", "blue", clock.tick())
+        assert bag.get("color", middle, vclock_compare) == "red"
+
+    def test_remove_tombstones(self, clock):
+        bag = PropertyBag()
+        bag.assign("color", "red", clock.tick())
+        assert bag.remove("color", clock.tick())
+        assert not bag.has("color", clock.tick(), vclock_compare)
+
+    def test_remove_missing_returns_false(self, clock):
+        bag = PropertyBag()
+        assert not bag.remove("ghost", clock.tick())
+
+    def test_check_presence_and_value(self, clock):
+        bag = PropertyBag()
+        bag.assign("weight", 3.0, clock.tick())
+        ts = clock.tick()
+        assert bag.check("weight", ts, vclock_compare)
+        assert bag.check("weight", ts, vclock_compare, value=3.0)
+        assert not bag.check("weight", ts, vclock_compare, value=4.0)
+
+    def test_items_at_snapshot(self, clock):
+        bag = PropertyBag()
+        bag.assign("a", 1, clock.tick())
+        bag.assign("b", 2, clock.tick())
+        bag.remove("a", clock.tick())
+        assert bag.items_at(clock.tick(), vclock_compare) == {"b": 2}
+
+    def test_collect_below_drops_dead_records(self, clock):
+        bag = PropertyBag()
+        bag.assign("a", 1, clock.tick())
+        bag.assign("a", 2, clock.tick())  # closes version 1
+        watermark = clock.tick()
+        dropped = bag.collect_below(watermark, vclock_compare)
+        assert dropped == 1
+        assert bag.get("a", clock.tick(), vclock_compare) == 2
+
+    def test_version_count(self, clock):
+        bag = PropertyBag()
+        bag.assign("a", 1, clock.tick())
+        bag.assign("a", 2, clock.tick())
+        bag.assign("b", 1, clock.tick())
+        assert bag.version_count() == 3
+
+
+class TestVertexAndEdge:
+    def test_edge_must_root_at_source(self, clock):
+        vertex = Vertex("a", clock.tick())
+        edge = Edge("e", "b", "c", clock.tick())
+        with pytest.raises(ValueError):
+            vertex.add_edge(edge)
+
+    def test_duplicate_edge_handle_rejected(self, clock):
+        vertex = Vertex("a", clock.tick())
+        vertex.add_edge(Edge("e", "a", "b", clock.tick()))
+        with pytest.raises(ValueError):
+            vertex.add_edge(Edge("e", "a", "c", clock.tick()))
+
+    def test_edges_at_filters_tombstoned(self, clock):
+        vertex = Vertex("a", clock.tick())
+        live = Edge("e1", "a", "b", clock.tick())
+        dead = Edge("e2", "a", "c", clock.tick())
+        vertex.add_edge(live)
+        vertex.add_edge(dead)
+        dead.span.delete(clock.tick())
+        visible = list(vertex.edges_at(clock.tick(), vclock_compare))
+        assert [e.handle for e in visible] == ["e1"]
+
+    def test_get_edge(self, clock):
+        vertex = Vertex("a", clock.tick())
+        edge = Edge("e", "a", "b", clock.tick())
+        vertex.add_edge(edge)
+        assert vertex.get_edge("e") is edge
+        assert vertex.get_edge("missing") is None
+
+    def test_version_count_includes_edges_and_properties(self, clock):
+        vertex = Vertex("a", clock.tick())
+        vertex.properties.assign("k", 1, clock.tick())
+        edge = Edge("e", "a", "b", clock.tick())
+        edge.properties.assign("w", 2, clock.tick())
+        vertex.add_edge(edge)
+        assert vertex.version_count() == 4  # vertex + prop + edge + eprop
+
+    def test_repr_smoke(self, clock):
+        vertex = Vertex("a", clock.tick())
+        edge = Edge("e", "a", "b", clock.tick())
+        assert "a" in repr(vertex)
+        assert "->" in repr(edge)

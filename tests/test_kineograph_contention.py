@@ -1,0 +1,133 @@
+"""The Kineograph baseline and the contention workload."""
+
+import pytest
+
+from repro.baselines.kineograph import Kineograph
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.workloads.contention import (
+    ZipfSampler,
+    run_contention,
+)
+
+
+class TestKineograph:
+    def test_updates_invisible_until_epoch(self):
+        kg = Kineograph(epoch_interval=10.0)
+        kg.update(("create_vertex", "a"), now=1.0)
+        assert kg.get_node("a", now=5.0) is None        # same epoch: stale
+        assert kg.get_node("a", now=11.0) is not None   # epoch turned
+
+    def test_snapshot_is_consistent_batch(self):
+        # Two updates in the same epoch become visible together.
+        kg = Kineograph(epoch_interval=10.0)
+        kg.update(("create_vertex", "a"), now=1.0)
+        kg.update(("create_vertex", "b"), now=2.0)
+        kg.update(("create_edge", "e", "a", "b"), now=3.0)
+        assert not kg.reachable("a", "b", now=9.0)
+        assert kg.reachable("a", "b", now=10.5)
+
+    def test_updates_straddling_boundary_split_correctly(self):
+        kg = Kineograph(epoch_interval=10.0)
+        kg.update(("create_vertex", "early"), now=9.0)
+        kg.update(("create_vertex", "late"), now=10.5)
+        kg.force_epoch(now=10.6)
+        assert kg.get_node("early", now=10.6) is not None
+        assert kg.get_node("late", now=10.6) is None
+        assert kg.get_node("late", now=20.1) is not None
+
+    def test_delete_and_properties(self):
+        kg = Kineograph(epoch_interval=1.0)
+        kg.update(("create_vertex", "a"), now=0.1)
+        kg.update(("set_vertex_property", "a", "k", 7), now=0.2)
+        node = kg.get_node("a", now=1.5)
+        assert node["properties"] == {"k": 7}
+        kg.update(("delete_vertex", "a"), now=1.6)
+        assert kg.get_node("a", now=2.5) is None
+
+    def test_visibility_lag_bounded_by_interval(self):
+        kg = Kineograph(epoch_interval=10.0)
+        assert kg.visibility_lag(0.0) == pytest.approx(10.0)
+        assert kg.visibility_lag(9.9) == pytest.approx(0.1)
+        assert 0 < kg.visibility_lag(123.4) <= 10.0
+
+    def test_weaver_reads_own_writes_kineograph_does_not(self):
+        """The headline contrast: read-your-writes latency."""
+        db = Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+        client = WeaverClient(db)
+        client.create_vertex("a")
+        assert client.get_node("a")["handle"] == "a"  # immediately
+        kg = Kineograph(epoch_interval=10.0)
+        kg.update(("create_vertex", "a"), now=0.5)
+        assert kg.get_node("a", now=0.5001) is None   # stale for ~10 s
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Kineograph(epoch_interval=0)
+
+    def test_unknown_op_rejected(self):
+        kg = Kineograph(epoch_interval=1.0)
+        kg.update(("explode",), now=0.1)
+        with pytest.raises(ValueError):
+            kg.force_epoch(now=1.5)
+
+
+class TestZipfSampler:
+    def test_rank_zero_is_hottest(self):
+        sampler = ZipfSampler(100, s=1.2, seed=1)
+        counts = {}
+        for _ in range(5000):
+            rank = sampler.sample()
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts[0] == max(counts.values())
+
+    def test_zero_skew_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, s=0.0, seed=2)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[sampler.sample()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5, s=2.0, seed=3)
+        assert all(0 <= sampler.sample() < 5 for _ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+
+
+class TestContentionStudy:
+    @pytest.fixture
+    def populated(self):
+        db = Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+        client = WeaverClient(db)
+        names = [f"v{i}" for i in range(40)]
+        with client.transaction() as tx:
+            for name in names:
+                tx.create_vertex(name)
+        return db, names
+
+    def test_abort_rate_grows_with_skew(self, populated):
+        db, names = populated
+        uniform = run_contention(db, names, skew=0.0, rounds=60, seed=4)
+        skewed = run_contention(db, names, skew=2.5, rounds=60, seed=4)
+        assert skewed.abort_rate > uniform.abort_rate
+
+    def test_commits_plus_aborts_equals_attempts(self, populated):
+        db, names = populated
+        report = run_contention(db, names, skew=1.0, rounds=30, seed=5)
+        assert report.commits + report.aborts == report.attempts
+
+    def test_committed_increments_never_lost(self, populated):
+        db, names = populated
+        from repro.db import WeaverClient
+
+        report = run_contention(db, names, skew=1.5, rounds=40, seed=6)
+        client = WeaverClient(db)
+        total = sum(
+            client.get_node(name)["properties"].get("n", 0)
+            for name in names
+        )
+        assert total == report.commits

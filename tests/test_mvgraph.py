@@ -1,0 +1,268 @@
+"""The multi-version graph: mutations, snapshots, history, GC."""
+
+import pytest
+
+from repro.core.vclock import VectorClock
+from repro.errors import NoSuchEdge, NoSuchVertex
+from repro.graph.mvgraph import MultiVersionGraph
+
+
+@pytest.fixture
+def clock():
+    return VectorClock(1, 0)
+
+
+@pytest.fixture
+def graph():
+    return MultiVersionGraph()
+
+
+def build_pair(graph, clock):
+    """a --e--> b, returning the post-build snapshot timestamp."""
+    graph.create_vertex("a", clock.tick())
+    graph.create_vertex("b", clock.tick())
+    graph.create_edge("e", "a", "b", clock.tick())
+    return clock.tick()
+
+
+class TestMutations:
+    def test_create_and_snapshot_vertex(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        view = graph.at(clock.tick())
+        assert view.has_vertex("a")
+
+    def test_duplicate_vertex_rejected(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        with pytest.raises(ValueError):
+            graph.create_vertex("a", clock.tick())
+
+    def test_recreate_after_delete_allowed(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.delete_vertex("a", clock.tick())
+        graph.create_vertex("a", clock.tick())
+        assert graph.at(clock.tick()).has_vertex("a")
+
+    def test_delete_missing_vertex_raises(self, graph, clock):
+        with pytest.raises(NoSuchVertex):
+            graph.delete_vertex("ghost", clock.tick())
+
+    def test_edge_to_any_destination_allowed_locally(self, graph, clock):
+        # Destination may live on another shard; local graph does not
+        # validate it (the backing store did, at commit).
+        graph.create_vertex("a", clock.tick())
+        graph.create_edge("e", "a", "remote", clock.tick())
+        view = graph.at(clock.tick())
+        assert [e.nbr for e in view.vertex("a").neighbors] == ["remote"]
+
+    def test_edge_from_missing_vertex_raises(self, graph, clock):
+        with pytest.raises(NoSuchVertex):
+            graph.create_edge("e", "ghost", "b", clock.tick())
+
+    def test_delete_edge(self, graph, clock):
+        ts = build_pair(graph, clock)
+        graph.delete_edge("a", "e", clock.tick())
+        after = clock.tick()
+        assert graph.at(ts).vertex("a").out_degree() == 1
+        assert graph.at(after).vertex("a").out_degree() == 0
+
+    def test_delete_missing_edge_raises(self, graph, clock):
+        build_pair(graph, clock)
+        with pytest.raises(NoSuchEdge):
+            graph.delete_edge("a", "ghost", clock.tick())
+
+    def test_delete_vertex_tombstones_its_edges(self, graph, clock):
+        build_pair(graph, clock)
+        graph.delete_vertex("a", clock.tick())
+        after = clock.tick()
+        assert not graph.at(after).has_vertex("a")
+
+    def test_vertex_properties(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "color", "red", clock.tick())
+        view = graph.at(clock.tick())
+        assert view.vertex("a").get_property("color") == "red"
+
+    def test_delete_vertex_property(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "color", "red", clock.tick())
+        assert graph.delete_vertex_property("a", "color", clock.tick())
+        assert graph.at(clock.tick()).vertex("a").get_property("color") is None
+
+    def test_edge_properties(self, graph, clock):
+        build_pair(graph, clock)
+        graph.set_edge_property("a", "e", "weight", 3.0, clock.tick())
+        view = graph.at(clock.tick())
+        edge = view.vertex("a").get_edge("e")
+        assert edge.get_property("weight") == 3.0
+        assert edge.check("weight", 3.0)
+
+    def test_delete_edge_property(self, graph, clock):
+        build_pair(graph, clock)
+        graph.set_edge_property("a", "e", "w", 1, clock.tick())
+        assert graph.delete_edge_property("a", "e", "w", clock.tick())
+        edge = graph.at(clock.tick()).vertex("a").get_edge("e")
+        assert not edge.check("w")
+
+    def test_multiple_property_values_per_edge(self, graph, clock):
+        # The paper's example: weight=3.0 AND color=red on one edge.
+        build_pair(graph, clock)
+        graph.set_edge_property("a", "e", "weight", 3.0, clock.tick())
+        graph.set_edge_property("a", "e", "color", "red", clock.tick())
+        edge = graph.at(clock.tick()).vertex("a").get_edge("e")
+        assert edge.properties() == {"weight": 3.0, "color": "red"}
+
+
+class TestSnapshots:
+    def test_snapshot_is_stable_under_later_writes(self, graph, clock):
+        ts = build_pair(graph, clock)
+        view = graph.at(ts)
+        graph.delete_edge("a", "e", clock.tick())
+        graph.set_vertex_property("a", "color", "red", clock.tick())
+        assert view.vertex("a").out_degree() == 1
+        assert view.vertex("a").get_property("color") is None
+
+    def test_historical_view_of_property(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "v", 1, clock.tick())
+        old = clock.tick()
+        graph.set_vertex_property("a", "v", 2, clock.tick())
+        assert graph.at(old).vertex("a").get_property("v") == 1
+        assert graph.at(clock.tick()).vertex("a").get_property("v") == 2
+
+    def test_vertex_missing_in_early_snapshot(self, graph, clock):
+        early = clock.tick()
+        graph.create_vertex("a", clock.tick())
+        assert not graph.at(early).has_vertex("a")
+        with pytest.raises(NoSuchVertex):
+            graph.at(early).vertex("a")
+
+    def test_vertices_iterates_visible_only(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.create_vertex("b", clock.tick())
+        graph.delete_vertex("b", clock.tick())
+        view = graph.at(clock.tick())
+        assert [v.handle for v in view.vertices()] == ["a"]
+
+    def test_counts(self, graph, clock):
+        ts = build_pair(graph, clock)
+        view = graph.at(ts)
+        assert view.vertex_count() == 2
+        assert view.edge_count() == 1
+
+    def test_get_missing_edge_returns_none(self, graph, clock):
+        ts = build_pair(graph, clock)
+        assert graph.at(ts).vertex("a").get_edge("ghost") is None
+
+    def test_deleted_edge_invisible_via_get_edge(self, graph, clock):
+        build_pair(graph, clock)
+        graph.delete_edge("a", "e", clock.tick())
+        view = graph.at(clock.tick())
+        assert view.vertex("a").get_edge("e") is None
+
+
+class TestIncarnations:
+    """Re-created handles must not destroy their predecessors' history
+    (regression tests for bugs found by the property suite)."""
+
+    def test_recreated_vertex_keeps_old_incarnation_visible(
+        self, graph, clock
+    ):
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "gen", 1, clock.tick())
+        old_snapshot = clock.tick()
+        graph.delete_vertex("a", clock.tick())
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "gen", 2, clock.tick())
+        now = clock.tick()
+        assert graph.at(old_snapshot).vertex("a").get_property("gen") == 1
+        assert graph.at(now).vertex("a").get_property("gen") == 2
+
+    def test_gap_between_incarnations_shows_nothing(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.delete_vertex("a", clock.tick())
+        gap = clock.tick()
+        graph.create_vertex("a", clock.tick())
+        assert not graph.at(gap).has_vertex("a")
+
+    def test_recreated_edge_keeps_old_incarnation_visible(
+        self, graph, clock
+    ):
+        build_pair(graph, clock)
+        graph.set_edge_property("a", "e", "gen", 1, clock.tick())
+        old_snapshot = clock.tick()
+        graph.delete_edge("a", "e", clock.tick())
+        graph.create_edge("e", "a", "b", clock.tick())
+        now = clock.tick()
+        old_edge = graph.at(old_snapshot).vertex("a").get_edge("e")
+        assert old_edge is not None and old_edge.get_property("gen") == 1
+        new_edge = graph.at(now).vertex("a").get_edge("e")
+        assert new_edge is not None and new_edge.get_property("gen") is None
+
+    def test_live_duplicate_edge_still_rejected(self, graph, clock):
+        build_pair(graph, clock)
+        with pytest.raises(ValueError):
+            graph.create_edge("e", "a", "b", clock.tick())
+
+    def test_gc_reclaims_archived_incarnations(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.delete_vertex("a", clock.tick())
+        graph.create_vertex("a", clock.tick())
+        before = graph.version_count()
+        graph.collect_below(clock.tick())
+        assert graph.version_count() < before
+        assert graph.at(clock.tick()).has_vertex("a")
+
+
+class TestGarbageCollection:
+    def test_collect_removes_dead_vertices(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.delete_vertex("a", clock.tick())
+        watermark = clock.tick()
+        reclaimed = graph.collect_below(watermark)
+        assert reclaimed >= 1
+        assert graph.raw_vertex("a") is None
+
+    def test_collect_keeps_live_vertices(self, graph, clock):
+        ts = build_pair(graph, clock)
+        graph.collect_below(clock.tick())
+        assert graph.at(clock.tick()).has_vertex("a")
+
+    def test_collect_removes_dead_edges_only(self, graph, clock):
+        build_pair(graph, clock)
+        graph.create_edge("e2", "a", "b", clock.tick())
+        graph.delete_edge("a", "e", clock.tick())
+        graph.collect_below(clock.tick())
+        view = graph.at(clock.tick())
+        assert [e.handle for e in view.vertex("a").neighbors] == ["e2"]
+
+    def test_collect_preserves_reads_at_watermark_and_later(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        graph.set_vertex_property("a", "v", 1, clock.tick())
+        graph.set_vertex_property("a", "v", 2, clock.tick())
+        watermark = clock.tick()
+        before = graph.at(watermark).vertex("a").get_property("v")
+        graph.collect_below(watermark)
+        assert graph.at(watermark).vertex("a").get_property("v") == before
+
+    def test_collect_drops_superseded_property_versions(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        for i in range(5):
+            graph.set_vertex_property("a", "v", i, clock.tick())
+        count_before = graph.version_count()
+        graph.collect_below(clock.tick())
+        assert graph.version_count() < count_before
+
+    def test_collect_noop_on_live_data(self, graph, clock):
+        ts = build_pair(graph, clock)
+        assert graph.collect_below(ts) == 0
+
+
+class TestIntrospection:
+    def test_len_and_contains(self, graph, clock):
+        graph.create_vertex("a", clock.tick())
+        assert len(graph) == 1
+        assert "a" in graph and "b" not in graph
+
+    def test_version_count(self, graph, clock):
+        build_pair(graph, clock)
+        assert graph.version_count() == 3  # two vertices + one edge

@@ -1,0 +1,133 @@
+"""The refinable-ordering façade and the shard-side decision cache."""
+
+import pytest
+
+from repro.core.oracle import TimelineOracle
+from repro.core.ordering import (
+    OrderingCache,
+    RefinableOrdering,
+    make_oracle,
+)
+from repro.core.vclock import Ordering, VectorTimestamp
+
+
+def ts(clocks, issuer=0, epoch=0):
+    return VectorTimestamp(epoch, tuple(clocks), issuer)
+
+
+A = ts([1, 0], issuer=0)
+B = ts([0, 1], issuer=1)
+C = ts([2, 0], issuer=0)
+
+
+class TestOrderingCache:
+    def test_miss_then_hit(self):
+        cache = OrderingCache()
+        assert cache.get(A, B) is None
+        cache.put(A, B, Ordering.BEFORE)
+        assert cache.get(A, B) is Ordering.BEFORE
+
+    def test_reverse_direction_hits_flipped(self):
+        cache = OrderingCache()
+        cache.put(A, B, Ordering.BEFORE)
+        assert cache.get(B, A) is Ordering.AFTER
+
+    def test_hit_miss_counters(self):
+        cache = OrderingCache()
+        cache.get(A, B)
+        cache.put(A, B, Ordering.BEFORE)
+        cache.get(A, B)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_len(self):
+        cache = OrderingCache()
+        cache.put(A, B, Ordering.BEFORE)
+        cache.put(A, C, Ordering.BEFORE)
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = OrderingCache()
+        cache.put(A, B, Ordering.BEFORE)
+        cache.clear()
+        assert cache.get(A, B) is None
+
+
+class TestRefinableOrdering:
+    def test_vclock_comparable_is_proactive(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        assert ordering.compare(A, C) is Ordering.BEFORE
+        assert ordering.stats.proactive == 1
+        assert ordering.stats.reactive == 0
+
+    def test_concurrent_goes_reactive(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        assert ordering.compare(A, B) is Ordering.BEFORE
+        assert ordering.stats.reactive == 1
+
+    def test_repeat_concurrent_hits_cache(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        ordering.compare(A, B)
+        ordering.compare(A, B)
+        assert ordering.stats.cached == 1
+        assert ordering.stats.reactive == 1
+
+    def test_cache_disabled_always_asks_oracle(self):
+        oracle = TimelineOracle()
+        ordering = RefinableOrdering(oracle, use_cache=False)
+        ordering.compare(A, B)
+        ordering.compare(A, B)
+        assert ordering.stats.reactive == 2
+        assert oracle.stats.queries == 2
+
+    def test_prefer_after(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        assert ordering.compare(A, B, prefer=Ordering.AFTER) is Ordering.AFTER
+
+    def test_two_shards_share_oracle_decisions(self):
+        oracle = TimelineOracle()
+        shard1 = RefinableOrdering(oracle)
+        shard2 = RefinableOrdering(oracle)
+        first = shard1.compare(A, B)
+        second = shard2.compare(A, B, prefer=Ordering.AFTER)
+        assert first is second  # the oracle's commitment wins
+
+    def test_reactive_fraction(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        ordering.compare(A, C)
+        ordering.compare(A, B)
+        assert ordering.stats.reactive_fraction == pytest.approx(0.5)
+
+    def test_stats_reset(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        ordering.compare(A, B)
+        ordering.stats.reset()
+        assert ordering.stats.total == 0
+
+    def test_earliest_single(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        assert ordering.earliest([A]) is A
+
+    def test_earliest_of_chain(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        later = ts([3, 0])
+        assert ordering.earliest([later, C, A]) is A
+
+    def test_earliest_concurrent_decides_and_sticks(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        first = ordering.earliest([A, B])
+        again = ordering.earliest([A, B])
+        assert first is again
+
+    def test_earliest_empty_raises(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        with pytest.raises(ValueError):
+            ordering.earliest([])
+
+
+class TestMakeOracle:
+    def test_single(self):
+        assert isinstance(make_oracle(1), TimelineOracle)
+
+    def test_chain(self):
+        oracle = make_oracle(3)
+        assert oracle.chain_length == 3

@@ -1,0 +1,226 @@
+"""Heavier property-based suites on the system's core invariants.
+
+These complement the per-module hypothesis tests with whole-subsystem
+properties: the multi-version graph against a model interpreter, the
+refinable order's global consistency across many independent shards,
+snapshot stability under arbitrary later writes, and GC harmlessness.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gatekeeper import Gatekeeper, sync_announce_all
+from repro.core.oracle import TimelineOracle
+from repro.core.ordering import RefinableOrdering
+from repro.core.vclock import Ordering, VectorClock
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.errors import TransactionAborted
+from repro.graph.mvgraph import MultiVersionGraph
+
+# ---------------------------------------------------------------------------
+# Multi-version graph vs. a last-write-wins model interpreter
+# ---------------------------------------------------------------------------
+
+VERTS = ["a", "b", "c"]
+
+graph_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["create_v", "delete_v", "create_e", "delete_e", "set_p"]
+        ),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(0, 9),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _interpret(ops):
+    """Apply ops to both the MV graph and a plain model; skip invalid
+    ops identically in both worlds."""
+    clock = VectorClock(1, 0)
+    graph = MultiVersionGraph()
+    model = {}  # handle -> {"props": {...}, "edges": {name: dst}}
+    for kind, i, j, val in ops:
+        v, w = VERTS[i], VERTS[j]
+        edge_name = f"{v}->{w}"
+        ts = clock.tick()
+        if kind == "create_v" and v not in model:
+            graph.create_vertex(v, ts)
+            model[v] = {"props": {}, "edges": {}}
+        elif kind == "delete_v" and v in model:
+            graph.delete_vertex(v, ts)
+            del model[v]
+        elif (
+            kind == "create_e"
+            and v in model
+            and edge_name not in model[v]["edges"]
+        ):
+            graph.create_edge(edge_name, v, w, ts)
+            model[v]["edges"][edge_name] = w
+        elif (
+            kind == "delete_e"
+            and v in model
+            and edge_name in model[v]["edges"]
+        ):
+            graph.delete_edge(v, edge_name, ts)
+            del model[v]["edges"][edge_name]
+        elif kind == "set_p" and v in model:
+            graph.set_vertex_property(v, "p", val, ts)
+            model[v]["props"]["p"] = val
+    return graph, model, clock
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_ops)
+def test_mvgraph_latest_snapshot_matches_model(ops):
+    graph, model, clock = _interpret(ops)
+    view = graph.at(clock.tick())
+    assert {v.handle for v in view.vertices()} == set(model)
+    for handle, record in model.items():
+        vertex = view.vertex(handle)
+        assert vertex.properties() == record["props"]
+        assert {
+            e.handle: e.nbr for e in vertex.neighbors
+        } == record["edges"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_ops, graph_ops)
+def test_mvgraph_snapshots_immune_to_later_writes(prefix, suffix):
+    """A snapshot taken after ``prefix`` reads the same regardless of
+    what ``suffix`` does afterwards."""
+    graph, model, clock = _interpret(prefix)
+    snap_ts = clock.tick()
+
+    def read(ts):
+        view = graph.at(ts)
+        return {
+            v.handle: (
+                v.properties().get("p"),
+                tuple(sorted(e.handle for e in v.neighbors)),
+            )
+            for v in view.vertices()
+        }
+
+    before = read(snap_ts)
+    # Replay the suffix on top (same clock, same graph).
+    for kind, i, j, val in suffix:
+        v, w = VERTS[i], VERTS[j]
+        edge_name = f"{v}->{w}"
+        ts = clock.tick()
+        try:
+            if kind == "create_v":
+                graph.create_vertex(v, ts)
+            elif kind == "delete_v":
+                graph.delete_vertex(v, ts)
+            elif kind == "create_e":
+                graph.create_edge(f"{edge_name}+", v, w, ts)
+            elif kind == "delete_e":
+                graph.delete_edge(v, edge_name, ts)
+            else:
+                graph.set_vertex_property(v, "p", val + 100, ts)
+        except Exception:
+            pass
+    assert read(snap_ts) == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_ops)
+def test_gc_never_changes_the_watermark_view(ops):
+    graph, model, clock = _interpret(ops)
+    watermark = clock.tick()
+    view_before = {
+        v.handle: v.properties().get("p")
+        for v in graph.at(watermark).vertices()
+    }
+    graph.collect_below(watermark)
+    view_after = {
+        v.handle: v.properties().get("p")
+        for v in graph.at(watermark).vertices()
+    }
+    assert view_before == view_after
+
+
+# ---------------------------------------------------------------------------
+# Refinable order: many shards, one oracle, one consistent world order
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.booleans()),
+        min_size=4,
+        max_size=24,
+    ),
+    st.integers(2, 4),
+)
+def test_shards_never_disagree_on_any_pair(script, num_shards):
+    """Each shard independently compares random stamp pairs (with its
+    own cache and arrival-order preferences); all answers must embed
+    into one total order because the oracle is shared."""
+    gatekeepers = [Gatekeeper(i, 3) for i in range(3)]
+    stamps = []
+    for gk_index, announce in script:
+        stamps.append(gatekeepers[gk_index].issue_timestamp())
+        if announce:
+            sync_announce_all(gatekeepers)
+    oracle = TimelineOracle()
+    shards = [RefinableOrdering(oracle) for _ in range(num_shards)]
+    rng = random.Random(7)
+    decided = {}
+    for _ in range(60):
+        shard = shards[rng.randrange(num_shards)]
+        a, b = rng.sample(stamps, 2) if len(stamps) >= 2 else (None, None)
+        if a is None or a.id == b.id:
+            continue
+        prefer = (
+            Ordering.BEFORE if rng.random() < 0.5 else Ordering.AFTER
+        )
+        answer = shard.compare(a, b, prefer=prefer)
+        key = (a.id, b.id)
+        if key in decided:
+            assert answer is decided[key]
+        decided[key] = answer
+        decided[(b.id, a.id)] = answer.flipped()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: random committed workloads replay sequentially
+# ---------------------------------------------------------------------------
+
+end_to_end_ops = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 5)),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(end_to_end_ops, st.integers(1, 6))
+def test_final_state_equals_commit_order_replay(ops, announce_every):
+    db = Weaver(
+        WeaverConfig(
+            num_gatekeepers=2, num_shards=2, announce_every=announce_every
+        )
+    )
+    client = WeaverClient(db)
+    names = [f"v{i}" for i in range(4)]
+    with client.transaction() as tx:
+        for name in names:
+            tx.create_vertex(name)
+    committed = []
+    for i, j, val in ops:
+        try:
+            client.set_property(names[i], f"k{j}", val)
+            committed.append((names[i], f"k{j}", val))
+        except TransactionAborted:
+            pass
+    replay = {}
+    for name, key, val in committed:
+        replay.setdefault(name, {})[key] = val
+    for name in names:
+        assert client.get_node(name)["properties"] == replay.get(name, {})

@@ -1,0 +1,250 @@
+"""Strict serializability: the paper's correctness claims (section 4.4).
+
+These tests drive the full stack — multiple gatekeepers, multiple
+shards, interleaved transactions, node programs — and check that every
+observable history is equivalent to some serial order consistent with
+real-time (here: commit) order.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.errors import TransactionAborted
+
+
+def fresh(announce_every=1, gks=2, shards=2):
+    db = Weaver(
+        WeaverConfig(
+            num_gatekeepers=gks,
+            num_shards=shards,
+            announce_every=announce_every,
+        )
+    )
+    return db, WeaverClient(db)
+
+
+class TestFig1Scenario:
+    """The motivating example: a path query during concurrent updates
+    must never return a path that never existed."""
+
+    def build_topology(self, client):
+        # n1 - n3 - n5 - n6/n7 chain from Fig 1 (simplified to the
+        # relevant spine): n1 -> n3 -> n5, and n7 initially disconnected.
+        with client.transaction() as tx:
+            for n in ("n1", "n3", "n5", "n7"):
+                tx.create_vertex(n)
+            tx.create_edge("n1", "n3", "e13")
+            tx.create_edge("n3", "n5", "e35")
+
+    def test_path_query_never_sees_phantom_path(self):
+        db, client = fresh()
+        self.build_topology(client)
+        # Atomically: delete (n3, n5) and create (n5, n7) — after this,
+        # n7 is NOT reachable from n1 (the link to n5 is gone).
+        with client.transaction() as tx:
+            tx.delete_edge("n3", "e35")
+            tx.create_edge("n5", "n7", "e57")
+        assert client.find_path("n1", "n7") is None
+
+    def test_path_query_before_update_sees_old_world(self):
+        db, client = fresh()
+        self.build_topology(client)
+        point = db.checkpoint()
+        with client.transaction() as tx:
+            tx.delete_edge("n3", "e35")
+            tx.create_edge("n5", "n7", "e57")
+        # At the checkpoint, n5 was reachable but n7 was not.
+        assert client.find_path("n1", "n5", at=point) is not None
+        assert client.find_path("n1", "n7", at=point) is None
+
+    def test_non_atomic_would_differ(self):
+        # Sanity for the test itself: with the updates in two separate
+        # transactions and a read between them, the intermediate state
+        # (n5->n7 created, n3->n5 still alive) WOULD show a path.  The
+        # atomic version above never exposes it.
+        db, client = fresh()
+        self.build_topology(client)
+        with client.transaction() as tx:
+            tx.create_edge("n5", "n7", "e57")
+        assert client.find_path("n1", "n7") is not None  # transient world
+        with client.transaction() as tx:
+            tx.delete_edge("n3", "e35")
+        assert client.find_path("n1", "n7") is None
+
+
+class TestAtomicVisibility:
+    def test_program_never_sees_partial_transaction(self):
+        """A transaction spanning both shards becomes visible to node
+        programs all-or-nothing."""
+        db, client = fresh(announce_every=3)
+        with client.transaction() as tx:
+            tx.create_vertex("hub")
+        # Each write transaction creates one vertex on each shard and
+        # links both to the hub; a BFS from hub must always see an even
+        # number of spokes.
+        for i in range(6):
+            with client.transaction() as tx:
+                left = tx.create_vertex(f"L{i}")
+                right = tx.create_vertex(f"R{i}")
+                tx.create_edge("hub", left)
+                tx.create_edge("hub", right)
+            spokes = client.count_edges("hub")
+            assert spokes == 2 * (i + 1)
+
+    def test_reads_after_commit_always_see_it(self):
+        """Strict serializability theorem 2: an operation invoked after
+        a transaction's response sees its effects."""
+        db, client = fresh(announce_every=5, gks=3)
+        with client.transaction() as tx:
+            tx.create_vertex("v")
+        for i in range(10):
+            client.set_property("v", "round", i)
+            assert client.get_node("v")["properties"]["round"] == i
+
+    def test_snapshot_reads_are_repeatable(self):
+        db, client = fresh()
+        with client.transaction() as tx:
+            tx.create_vertex("v")
+            tx.set_property("v", "k", 0)
+        point = db.checkpoint()
+        for i in range(1, 4):
+            client.set_property("v", "k", i)
+            assert client.get_node("v", at=point)["properties"]["k"] == 0
+
+
+class TestCommitOrderEquivalence:
+    def test_random_interleavings_match_sequential_replay(self):
+        """Interleave open transactions from both gatekeepers over a
+        shared counter-bearing graph; the final state must equal a
+        sequential replay of the transactions in commit order."""
+        rng = random.Random(7)
+        db, client = fresh(announce_every=4, gks=3, shards=3)
+        vertices = [f"v{i}" for i in range(6)]
+        with client.transaction() as tx:
+            for v in vertices:
+                tx.create_vertex(v)
+                tx.set_property(v, "n", 0)
+        committed = []  # (vertex, value) in commit order
+        for _ in range(40):
+            tx1 = db.begin_transaction()
+            tx2 = db.begin_transaction()
+            v1 = vertices[rng.randrange(len(vertices))]
+            v2 = vertices[rng.randrange(len(vertices))]
+            a1 = tx1.get_vertex(v1)["n"]
+            a2 = tx2.get_vertex(v2)["n"]
+            tx1.set_property(v1, "n", a1 + 1)
+            tx2.set_property(v2, "n", a2 + 1)
+            for tx, v, base in ((tx1, v1, a1), (tx2, v2, a2)):
+                try:
+                    tx.commit()
+                    committed.append((v, base + 1))
+                except TransactionAborted:
+                    pass
+        # Sequential replay oracle.
+        replay = {v: 0 for v in vertices}
+        for v, value in committed:
+            replay[v] = value
+        for v in vertices:
+            assert client.get_node(v)["properties"]["n"] == replay[v]
+
+    def test_lost_update_prevented(self):
+        db, client = fresh()
+        with client.transaction() as tx:
+            tx.create_vertex("acct")
+            tx.set_property("acct", "balance", 100)
+        tx1 = db.begin_transaction(gatekeeper=0)
+        tx2 = db.begin_transaction(gatekeeper=1)
+        b1 = tx1.get_vertex("acct")["balance"]
+        b2 = tx2.get_vertex("acct")["balance"]
+        tx1.set_property("acct", "balance", b1 - 30)
+        tx2.set_property("acct", "balance", b2 - 50)
+        tx1.commit()
+        with pytest.raises(TransactionAborted):
+            tx2.commit()
+        assert client.get_node("acct")["properties"]["balance"] == 70
+
+
+class TestCrossShardConsistency:
+    def test_multi_shard_transaction_is_atomic_in_memory(self):
+        """Ops of one transaction land on different shards; after a
+        drain, both shards hold them with the same timestamp."""
+        db, client = fresh()
+        with client.transaction() as tx:
+            tx.create_vertex("a")  # shard 0 (round robin)
+            tx.create_vertex("b")  # shard 1
+        ts = tx.timestamp
+        db.drain()
+        sa = db.shards[db.mapping.lookup("a")].graph.raw_vertex("a")
+        sb = db.shards[db.mapping.lookup("b")].graph.raw_vertex("b")
+        assert sa.span.created_at == ts
+        assert sb.span.created_at == ts
+
+    def test_same_order_on_all_shards(self):
+        """Two transactions writing to both shards apply in the same
+        refinable order everywhere (theorem 1, case 3)."""
+        db, client = fresh(announce_every=10)
+        with client.transaction() as tx:
+            tx.create_vertex("x")
+            tx.create_vertex("y")
+        t1 = db.begin_transaction(gatekeeper=0)
+        t1.set_property("x", "m", "t1")
+        t1.set_property("y", "m", "t1")
+        t1.commit()
+        t2 = db.begin_transaction(gatekeeper=1)
+        t2.set_property("x", "m", "t2")
+        t2.set_property("y", "m", "t2")
+        t2.commit()
+        # Whatever the refinable order decided, both vertices must agree.
+        x = client.get_node("x")["properties"]["m"]
+        y = client.get_node("y")["properties"]["m"]
+        assert x == y
+
+
+# -- property-based: random workloads keep the two data planes in sync ------
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "edge", "del_edge", "read"]),
+        st.integers(0, 4),
+        st.integers(0, 4),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops_strategy, st.integers(1, 8))
+def test_store_and_shards_agree_under_random_workloads(ops, announce_every):
+    """After any committed workload, the durable store and the
+    in-memory multi-version graph answer reads identically."""
+    db, client = fresh(announce_every=announce_every, gks=2, shards=2)
+    names = [f"v{i}" for i in range(5)]
+    with client.transaction() as tx:
+        for v in names:
+            tx.create_vertex(v)
+    edges = {}
+    for kind, i, j in ops:
+        src, dst = names[i], names[j]
+        try:
+            if kind == "set":
+                client.set_property(src, "k", j)
+            elif kind == "edge" and (src, dst) not in edges:
+                edges[(src, dst)] = client.create_edge(src, dst)
+            elif kind == "del_edge" and (src, dst) in edges:
+                client.delete_edge(src, edges.pop((src, dst)))
+            else:
+                client.get_node(src)
+        except TransactionAborted:
+            pass
+    # Compare every vertex's live edges: store vs node program.
+    for v in names:
+        store_edges = {
+            key.split(":", 2)[2]
+            for key in db.store.keys(f"e:{v}:")
+        }
+        program_edges = {e["handle"] for e in client.get_edges(v)}
+        assert store_edges == program_edges

@@ -1,0 +1,168 @@
+"""The event-driven simulated deployment: the protocol on real timers."""
+
+import pytest
+
+from repro.db import operations as ops
+from repro.db.config import WeaverConfig
+from repro.programs import Bfs, GetNode, Reachability, params
+from repro.sim.clock import MSEC, USEC
+from repro.sim.deployment import SimulatedWeaver
+
+
+def make(tau=200 * USEC, nop_period=100 * USEC, gks=2, shards=2):
+    return SimulatedWeaver(
+        WeaverConfig(num_gatekeepers=gks, num_shards=shards),
+        tau=tau,
+        nop_period=nop_period,
+    )
+
+
+def commit(sw, operations, new_vertices=()):
+    outcome = {}
+    sw.submit_transaction(
+        operations,
+        callback=lambda ok, value: outcome.update(ok=ok, value=value),
+        new_vertices=new_vertices,
+    )
+    sw.run(2 * MSEC)
+    return outcome
+
+
+def ask(sw, program, start, prog_params=None):
+    box = {}
+    sw.submit_program(
+        program, start, prog_params, callback=lambda r: box.update(r=r)
+    )
+    sw.run(5 * MSEC)
+    return box.get("r")
+
+
+class TestTransactions:
+    def test_commit_through_network(self):
+        sw = make()
+        outcome = commit(
+            sw,
+            [ops.CreateVertex("a")],
+            new_vertices=("a",),
+        )
+        assert outcome["ok"]
+        assert sw.committed == 1
+        assert sw.store.exists("v:a")
+
+    def test_invalid_transaction_aborts(self):
+        sw = make()
+        commit(sw, [ops.CreateVertex("a")], ("a",))
+        outcome = commit(sw, [ops.CreateVertex("a")], ())
+        assert not outcome["ok"]
+        assert sw.aborted == 1
+
+    def test_writes_reach_shards_in_memory(self):
+        sw = make()
+        commit(sw, [ops.CreateVertex("a")], ("a",))
+        sw.run(2 * MSEC)
+        shard = sw.shards[sw.mapping.lookup("a")]
+        assert "a" in shard.graph
+
+
+class TestPrograms:
+    def test_program_sees_committed_write(self):
+        sw = make()
+        commit(
+            sw,
+            [
+                ops.CreateVertex("a"),
+                ops.CreateVertex("b"),
+                ops.CreateEdge("e", "a", "b"),
+            ],
+            ("a", "b"),
+        )
+        result = ask(sw, Reachability(), "a", params(target="b"))
+        assert result.results == [True]
+
+    def test_program_latency_bounded_by_timers(self):
+        # The section 4.2 bound: a program waits at most ~tau (for the
+        # issuing gatekeeper's announce) + a NOP period + network hops.
+        tau, nop = 200 * USEC, 100 * USEC
+        sw = make(tau=tau, nop_period=nop)
+        commit(sw, [ops.CreateVertex("a")], ("a",))
+        ask(sw, GetNode(), "a")
+        assert len(sw.program_latencies) == 1
+        bound = tau + 2 * nop + 6 * 100 * USEC  # generous hop budget
+        assert sw.program_latencies[0] <= bound
+
+    def test_multi_hop_traversal(self):
+        sw = make()
+        commit(
+            sw,
+            [
+                ops.CreateVertex("a"),
+                ops.CreateVertex("b"),
+                ops.CreateVertex("c"),
+                ops.CreateEdge("ab", "a", "b"),
+                ops.CreateEdge("bc", "b", "c"),
+            ],
+            ("a", "b", "c"),
+        )
+        result = ask(sw, Bfs(), "a", params(depth=0))
+        assert result.results == ["a", "b", "c"]
+
+    def test_program_waits_for_concurrent_write(self):
+        # Submit a write and a program back-to-back: the program's
+        # snapshot must include the write (it committed first).
+        sw = make()
+        commit(sw, [ops.CreateVertex("a")], ("a",))
+        box = {}
+        sw.submit_transaction(
+            [ops.SetVertexProperty("a", "k", 42)],
+            callback=lambda ok, v: None,
+        )
+        sw.submit_program(
+            GetNode(), "a", None, callback=lambda r: box.update(r=r)
+        )
+        sw.run(5 * MSEC)
+        assert box["r"].value["properties"] == {"k": 42}
+
+
+class TestTimers:
+    def test_announces_flow(self):
+        sw = make()
+        sw.run(2 * MSEC)
+        assert sw.announce_messages() > 0
+
+    def test_nops_flow(self):
+        sw = make()
+        sw.run(2 * MSEC)
+        assert sw.nop_messages() > 0
+
+    def test_heartbeats_keep_servers_alive(self):
+        sw = make()
+        sw.run(0.5)
+        assert sw.manager.detect_failures(sw.simulator.now) == []
+
+    def test_smaller_tau_means_fewer_oracle_messages(self):
+        # The Fig 14 tradeoff emerging from real timers: with announces
+        # much faster than NOPs, heartbeat stamps order proactively; with
+        # slow announces they stay concurrent and hit the oracle.
+        def oracle_traffic(tau):
+            sw = make(tau=tau, nop_period=200 * USEC)
+            commit(sw, [ops.CreateVertex("a")], ("a",))
+            ask(sw, GetNode(), "a")
+            sw.run(5 * MSEC)
+            return sw.oracle_messages()
+
+        fast = oracle_traffic(50 * USEC)
+        slow = oracle_traffic(2 * MSEC)
+        assert fast < slow
+
+    def test_fifo_channels_hold_under_load(self):
+        sw = make()
+        for i in range(10):
+            sw.submit_transaction(
+                [ops.CreateVertex(f"v{i}")],
+                new_vertices=(f"v{i}",),
+            )
+        sw.run(10 * MSEC)
+        assert sw.committed == 10
+        assert all(
+            shard.stats.out_of_order_rejected == 0 for shard in sw.shards
+        )

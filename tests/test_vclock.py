@@ -1,0 +1,231 @@
+"""Vector clocks and timestamps: the proactive ordering layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.vclock import Ordering, VectorClock, VectorTimestamp
+
+
+def ts(clocks, issuer=0, epoch=0):
+    return VectorTimestamp(epoch, tuple(clocks), issuer)
+
+
+class TestOrderingEnum:
+    def test_flipped_before(self):
+        assert Ordering.BEFORE.flipped() is Ordering.AFTER
+
+    def test_flipped_after(self):
+        assert Ordering.AFTER.flipped() is Ordering.BEFORE
+
+    def test_flipped_concurrent(self):
+        assert Ordering.CONCURRENT.flipped() is Ordering.CONCURRENT
+
+    def test_flipped_equal(self):
+        assert Ordering.EQUAL.flipped() is Ordering.EQUAL
+
+
+class TestVectorTimestamp:
+    def test_dominated_vector_is_before(self):
+        assert ts([1, 0]).compare(ts([1, 1], issuer=1)) is Ordering.BEFORE
+
+    def test_dominating_vector_is_after(self):
+        assert ts([2, 1]).compare(ts([1, 1], issuer=1)) is Ordering.AFTER
+
+    def test_crossed_vectors_are_concurrent(self):
+        assert ts([1, 0]).compare(ts([0, 1], issuer=1)) is Ordering.CONCURRENT
+
+    def test_same_stamp_is_equal(self):
+        a = ts([3, 2])
+        assert a.compare(ts([3, 2])) is Ordering.EQUAL
+
+    def test_identical_vectors_different_issuers_concurrent(self):
+        # Possible right after an announce: same numbers, distinct events.
+        assert ts([1, 1]).compare(ts([1, 1], issuer=1)) is Ordering.CONCURRENT
+
+    def test_paper_example_t1_before_t2(self):
+        # Fig 5: T1<1,1,0> precedes T2<3,4,2>.
+        t1 = ts([1, 1, 0], issuer=0)
+        t2 = ts([3, 4, 2], issuer=1)
+        assert t1.compare(t2) is Ordering.BEFORE
+
+    def test_paper_example_t2_t4_concurrent(self):
+        # Fig 5: T2<3,4,2> and T4<3,1,5> are concurrent.
+        t2 = ts([3, 4, 2], issuer=1)
+        t4 = ts([3, 1, 5], issuer=2)
+        assert t2.compare(t4) is Ordering.CONCURRENT
+
+    def test_lower_epoch_always_before(self):
+        old = ts([100, 100], epoch=0)
+        new = ts([1, 0], epoch=1)
+        assert old.compare(new) is Ordering.BEFORE
+        assert new.compare(old) is Ordering.AFTER
+
+    def test_happens_before_helper(self):
+        assert ts([0, 0]).happens_before(ts([1, 1], issuer=1))
+
+    def test_concurrent_with_helper(self):
+        assert ts([1, 0]).concurrent_with(ts([0, 1], issuer=1))
+
+    def test_mismatched_length_raises(self):
+        with pytest.raises(ValueError):
+            ts([1, 0]).compare(ts([1, 0, 0]))
+
+    def test_issuer_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp(0, (1, 2), 2)
+
+    def test_local_clock_is_issuer_component(self):
+        assert ts([4, 7], issuer=1).local_clock == 7
+
+    def test_id_unique_per_issuer_counter(self):
+        assert ts([1, 5], issuer=1).id == (0, 1, 5)
+
+    def test_str_contains_epoch_and_issuer(self):
+        text = str(ts([1, 2], issuer=1, epoch=3))
+        assert "e3" in text and "gk1" in text
+
+    def test_len_is_cluster_size(self):
+        assert len(ts([1, 2, 3])) == 3
+
+    def test_hashable_and_equality(self):
+        assert ts([1, 2]) == ts([1, 2])
+        assert hash(ts([1, 2])) == hash(ts([1, 2]))
+        assert ts([1, 2]) != ts([1, 2], issuer=1)
+
+
+class TestVectorClock:
+    def test_tick_increments_own_component_only(self):
+        clock = VectorClock(3, 1)
+        stamp = clock.tick()
+        assert stamp.clocks == (0, 1, 0)
+
+    def test_successive_ticks_are_ordered(self):
+        clock = VectorClock(2, 0)
+        first, second = clock.tick(), clock.tick()
+        assert first.compare(second) is Ordering.BEFORE
+
+    def test_observe_takes_componentwise_max(self):
+        clock = VectorClock(3, 0)
+        clock.tick()
+        clock.observe((0, 5, 2))
+        assert clock.clocks == (1, 5, 2)
+
+    def test_observe_never_advances_own_component(self):
+        clock = VectorClock(2, 0)
+        clock.tick()
+        clock.observe((99, 3))
+        assert clock.clocks == (1, 3)
+
+    def test_observe_ignores_stale_values(self):
+        clock = VectorClock(2, 0)
+        clock.observe((0, 5))
+        clock.observe((0, 2))
+        assert clock.clocks == (0, 5)
+
+    def test_observe_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            VectorClock(2, 0).observe((1, 2, 3))
+
+    def test_announce_returns_snapshot(self):
+        clock = VectorClock(2, 1)
+        clock.tick()
+        assert clock.announce() == (0, 1)
+
+    def test_stamp_after_observe_dominates_observed(self):
+        a = VectorClock(2, 0)
+        b = VectorClock(2, 1)
+        observed = a.tick()
+        b.observe(a.announce())
+        later = b.tick()
+        assert observed.compare(later) is Ordering.BEFORE
+
+    def test_stamps_without_announce_are_concurrent(self):
+        a = VectorClock(2, 0)
+        b = VectorClock(2, 1)
+        assert a.tick().compare(b.tick()) is Ordering.CONCURRENT
+
+    def test_peek_does_not_consume(self):
+        clock = VectorClock(2, 0)
+        clock.tick()
+        peeked = clock.peek()
+        assert peeked.clocks == (1, 0)
+        assert clock.tick().clocks == (2, 0)  # peek consumed nothing
+
+    def test_advance_epoch_resets_counters(self):
+        clock = VectorClock(2, 0)
+        clock.tick()
+        clock.advance_epoch(1)
+        assert clock.clocks == (0, 0)
+        assert clock.epoch == 1
+
+    def test_advance_epoch_must_move_forward(self):
+        clock = VectorClock(2, 0, epoch=2)
+        with pytest.raises(ValueError):
+            clock.advance_epoch(2)
+
+    def test_new_epoch_stamp_after_old_epoch_stamp(self):
+        clock = VectorClock(2, 0)
+        old = clock.tick()
+        clock.advance_epoch(1)
+        new = clock.tick()
+        assert old.compare(new) is Ordering.BEFORE
+
+    def test_zero_gatekeepers_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock(0, 0)
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock(2, 2)
+
+
+# -- property-based: compare() is a strict partial order -------------------
+
+vectors = st.lists(st.integers(0, 6), min_size=2, max_size=4)
+
+
+def stamps(draw, size):
+    clocks = draw(st.lists(st.integers(0, 6), min_size=size, max_size=size))
+    issuer = draw(st.integers(0, size - 1))
+    epoch = draw(st.integers(0, 2))
+    return VectorTimestamp(epoch, tuple(clocks), issuer)
+
+
+triple = st.integers(2, 4).flatmap(
+    lambda n: st.tuples(
+        *(
+            st.builds(
+                VectorTimestamp,
+                st.integers(0, 2),
+                st.lists(
+                    st.integers(0, 6), min_size=n, max_size=n
+                ).map(tuple),
+                st.integers(0, n - 1),
+            )
+            for _ in range(3)
+        )
+    )
+)
+
+
+@given(triple)
+def test_compare_antisymmetric(stamps):
+    a, b, _ = stamps
+    forward = a.compare(b)
+    assert b.compare(a) is forward.flipped()
+
+
+@given(triple)
+def test_compare_transitive(stamps):
+    a, b, c = stamps
+    if (
+        a.compare(b) is Ordering.BEFORE
+        and b.compare(c) is Ordering.BEFORE
+    ):
+        assert a.compare(c) is Ordering.BEFORE
+
+
+@given(triple)
+def test_compare_irreflexive(stamps):
+    a, _, _ = stamps
+    assert a.compare(a) is Ordering.EQUAL

@@ -1,0 +1,213 @@
+"""Workload generators: graphs, the TAO mix, the synthetic blockchain."""
+
+import pytest
+
+from repro.workloads import bitcoin, graphs
+from repro.workloads.runner import run_tao
+from repro.workloads.tao import (
+    READ_MIX,
+    TAO_READ_FRACTION,
+    TaoWorkload,
+    WRITE_MIX,
+)
+
+
+class TestGraphGenerators:
+    def test_powerlaw_deterministic(self):
+        a = graphs.powerlaw_graph(50, 3, seed=1)
+        b = graphs.powerlaw_graph(50, 3, seed=1)
+        assert a == b
+
+    def test_powerlaw_seed_changes_graph(self):
+        assert graphs.powerlaw_graph(50, 3, seed=1) != graphs.powerlaw_graph(
+            50, 3, seed=2
+        )
+
+    def test_powerlaw_has_skewed_in_degree(self):
+        edges = graphs.powerlaw_graph(500, 3, seed=3)
+        indeg = {}
+        for _, dst in edges:
+            indeg[dst] = indeg.get(dst, 0) + 1
+        degrees = sorted(indeg.values(), reverse=True)
+        # The hottest vertex has far more than the mean in-degree.
+        assert degrees[0] > 5 * (len(edges) / len(indeg))
+
+    def test_powerlaw_vertex_count(self):
+        edges = graphs.powerlaw_graph(100, 2, seed=4)
+        assert len(graphs.vertices_of(edges)) == 100
+
+    def test_powerlaw_no_dangling_targets(self):
+        edges = graphs.powerlaw_graph(50, 3, seed=5)
+        names = set(graphs.vertices_of(edges))
+        assert all(src in names and dst in names for src, dst in edges)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            graphs.powerlaw_graph(1)
+
+    def test_uniform_graph_counts(self):
+        edges = graphs.uniform_graph(30, 40, seed=6)
+        assert len(edges) == 40
+        assert len(set(edges)) == 40  # no duplicates
+
+    def test_uniform_no_self_loops(self):
+        edges = graphs.uniform_graph(10, 30, seed=7)
+        assert all(src != dst for src, dst in edges)
+
+    def test_adjacency(self):
+        adj = graphs.adjacency([("a", "b"), ("a", "c")])
+        assert adj["a"] == ["b", "c"]
+        assert adj["b"] == []
+
+    def test_load_into_weaver(self, client):
+        edges = [("a", "b"), ("b", "c")]
+        handles = graphs.load_into_weaver(client, edges, batch_size=1)
+        assert set(handles) == {"a->b", "b->c"}
+        assert client.reachable("a", "c")
+
+    def test_load_with_edge_prop(self, client):
+        handles = graphs.load_into_weaver(
+            client, [("a", "b")], edge_prop="follows"
+        )
+        assert client.count_edges("a", edge_prop="follows") == 1
+
+
+class TestTaoWorkload:
+    def test_mixes_sum_to_one(self):
+        assert sum(w for _, w in READ_MIX) == pytest.approx(1.0)
+        assert sum(w for _, w in WRITE_MIX) == pytest.approx(1.0)
+
+    def test_deterministic_stream(self):
+        a = list(TaoWorkload(["v0", "v1"], seed=1).stream(50))
+        b = list(TaoWorkload(["v0", "v1"], seed=1).stream(50))
+        assert a == b
+
+    def test_read_fraction_respected(self):
+        workload = TaoWorkload(["v"], read_fraction=0.5, seed=2)
+        reads = sum(
+            1
+            for op in workload.stream(2000)
+            if op[0] in ("get_edges", "count_edges", "get_node")
+        )
+        assert 0.45 < reads / 2000 < 0.55
+
+    def test_table1_read_proportions(self):
+        workload = TaoWorkload(["v"], read_fraction=1.0, seed=3)
+        counts = {}
+        for op in workload.stream(5000):
+            counts[op[0]] = counts.get(op[0], 0) + 1
+        assert counts["get_edges"] / 5000 == pytest.approx(0.594, abs=0.05)
+        assert counts["count_edges"] / 5000 == pytest.approx(0.117, abs=0.05)
+        assert counts["get_node"] / 5000 == pytest.approx(0.289, abs=0.05)
+
+    def test_write_proportions(self):
+        pool = [(f"v{i}", f"e{i}") for i in range(10000)]
+        workload = TaoWorkload(
+            ["v"], edge_pool=pool, read_fraction=0.0, seed=4
+        )
+        counts = {}
+        for op in workload.stream(2000):
+            counts[op[0]] = counts.get(op[0], 0) + 1
+        assert counts["create_edge"] / 2000 == pytest.approx(0.8, abs=0.05)
+        assert counts["delete_edge"] / 2000 == pytest.approx(0.2, abs=0.05)
+
+    def test_delete_without_pool_becomes_create(self):
+        workload = TaoWorkload(["v"], read_fraction=0.0, seed=5)
+        ops = list(workload.stream(50))
+        assert all(op[0] == "create_edge" for op in ops)
+
+    def test_created_edges_become_deletable(self):
+        workload = TaoWorkload(["v"], read_fraction=0.0, seed=6)
+        workload.note_created("v", "e0")
+        kinds = {op[0] for op in workload.stream(100)}
+        assert "delete_edge" in kinds
+
+    def test_default_read_fraction_is_tao(self):
+        assert TaoWorkload(["v"]).read_fraction == TAO_READ_FRACTION
+
+    def test_empty_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            TaoWorkload([])
+
+    def test_bad_read_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            TaoWorkload(["v"], read_fraction=1.5)
+
+
+class TestRunTao:
+    def test_functional_run_reports(self, client):
+        graphs.load_into_weaver(client, [("a", "b"), ("b", "c")])
+        workload = TaoWorkload(["a", "b", "c"], seed=7)
+        report = run_tao(client, workload, 30)
+        assert report.operations == 30
+        assert report.failures == 0
+        assert sum(report.counts.values()) == 30
+        assert report.reactive_fraction == 0.0  # announce_every=1
+
+
+class TestBlockchain:
+    def test_growth_curve_monotone(self):
+        counts = [bitcoin.txs_in_block(h) for h in (1000, 100000, 350000)]
+        assert counts == sorted(counts)
+        assert counts[0] >= 1
+
+    def test_calibration_point(self):
+        assert bitcoin.txs_in_block(350_000) == 1795
+
+    def test_generator_deterministic(self):
+        a = bitcoin.BlockchainGenerator(seed=1, scale=0.01).generate([1000])
+        b = bitcoin.BlockchainGenerator(seed=1, scale=0.01).generate([1000])
+        assert a[0].transactions[0].tx_id == b[0].transactions[0].tx_id
+        assert a[0].transactions[0].value == b[0].transactions[0].value
+
+    def test_scale_shrinks_blocks(self):
+        gen = bitcoin.BlockchainGenerator(scale=0.01)
+        assert gen.txs_for(350_000) == round(1795 * 0.01)
+
+    def test_block_header(self):
+        gen = bitcoin.BlockchainGenerator(scale=0.01)
+        block = gen.generate_block(5000)
+        assert block.header()["height"] == 5000
+        assert block.header()["n_tx"] == len(block.transactions)
+
+    def test_spends_reference_earlier_txs(self):
+        gen = bitcoin.BlockchainGenerator(seed=2, scale=0.05)
+        blocks = gen.generate([100_000, 101_000])
+        seen = set()
+        for block in blocks:
+            for tx in block.transactions:
+                assert all(s in seen for s in tx.spends)
+                seen.add(tx.tx_id)
+
+    def test_load_into_weaver_and_render(self, client):
+        gen = bitcoin.BlockchainGenerator(seed=3, scale=0.01)
+        blocks = gen.generate([200_000])
+        bitcoin.load_into_weaver(client, blocks)
+        rendered = client.render_block(blocks[0].block_id)
+        assert rendered["n_tx"] == len(blocks[0].transactions)
+
+    def test_load_with_spend_edges(self, client):
+        gen = bitcoin.BlockchainGenerator(seed=4, scale=0.02)
+        blocks = gen.generate([150_000, 151_000])
+        bitcoin.load_into_weaver(client, blocks, with_spend_edges=True)
+        # Some transaction must have an outgoing spends edge.
+        total_spend_edges = sum(
+            len(client.get_edges(tx.tx_id, edge_prop="spends"))
+            for block in blocks
+            for tx in block.transactions
+        )
+        assert total_spend_edges > 0
+
+    def test_load_into_explorer(self):
+        from repro.baselines.blockchain_info import RelationalExplorer
+
+        gen = bitcoin.BlockchainGenerator(seed=5, scale=0.02)
+        blocks = gen.generate([200_000])
+        explorer = RelationalExplorer()
+        bitcoin.load_into_explorer(explorer, blocks)
+        result, _ = explorer.render_block(blocks[0].block_id)
+        assert result["n_tx"] == len(blocks[0].transactions)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            bitcoin.BlockchainGenerator(scale=0)
