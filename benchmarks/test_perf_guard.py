@@ -1,0 +1,42 @@
+"""Quick-mode perf smoke: the ordering fast path must not regress.
+
+A deliberately small configuration (seconds, not minutes) suitable for
+every CI run: the skyline-indexed oracle must not be slower than the
+seed-equivalent reference on an oracle-heavy schedule.  The full-size
+measurement (with the ≥ 3x acceptance bar) lives in
+``test_micro_ordering.py``; this guard only catches a fast path that
+stopped being fast.
+
+Run with::
+
+    python -m pytest benchmarks/test_perf_guard.py -q
+"""
+
+from repro.bench.ordering_bench import compare_fastpath
+
+# Best-of-N to damp scheduler noise; the margin tolerates the rest.
+_ATTEMPTS = 3
+_TOLERANCE = 1.10
+
+
+def test_indexed_not_slower_than_reference():
+    best = None
+    for attempt in range(_ATTEMPTS):
+        result = compare_fastpath(num_events=300, num_pairs=700, seed=11)
+        if best is None or result["speedup"] > best["speedup"]:
+            best = result
+        if best["speedup"] >= 1.5:
+            break
+    assert best["concurrent_fraction"] >= 0.30
+    assert best["indexed_seconds"] <= best["reference_seconds"] * _TOLERANCE, (
+        f"indexed path slower than the seed reference: "
+        f"{best['indexed_seconds']:.3f}s vs {best['reference_seconds']:.3f}s"
+    )
+
+
+def test_index_actually_prunes():
+    """The guard fails loudly if the index silently degrades to a scan."""
+    result = compare_fastpath(num_events=300, num_pairs=700, seed=11)
+    counters = result["indexed_counters"]
+    assert counters["bfs_pruned"] > counters["bfs_expansions"]
+    assert counters["reach_cache_hits"] > 0

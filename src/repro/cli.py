@@ -8,7 +8,9 @@ Commands:
 * ``bench --figure fig7`` — regenerate one of the paper's figures (or
   ``all``) and print its table;
 * ``tao --ops N`` — replay the Table 1 workload against a live
-  deployment and report the protocol statistics.
+  deployment and report the protocol statistics;
+* ``stats`` — run a short mixed workload and report the ordering
+  fast-path counters (memo hits, pruned BFS work, scheduler savings).
 """
 
 from __future__ import annotations
@@ -92,6 +94,48 @@ def _cmd_tao(args) -> int:
         ("reactive fraction", f"{report.reactive_fraction:.5f}"),
     ] + sorted(report.counts.items())
     print(format_table("TAO workload replay", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Short mixed workload, then the ordering fast-path counters."""
+    from .db import Weaver, WeaverClient, WeaverConfig
+    from .workloads import graphs
+    from .workloads.runner import run_tao
+    from .workloads.tao import TaoWorkload
+
+    # A sparse announce cadence leaves concurrent stamps for the oracle
+    # to refine, so the reactive-path counters move too.
+    db = Weaver(
+        WeaverConfig(
+            num_gatekeepers=3, num_shards=4, announce_every=args.announce
+        )
+    )
+    client = WeaverClient(db)
+    edges = graphs.social_graph(args.vertices, 5, seed=args.seed)
+    handles = graphs.load_into_weaver(client, edges)
+    pool = [(k.split("->", 1)[0], h) for k, h in handles.items()]
+    workload = TaoWorkload(
+        graphs.vertices_of(edges),
+        edge_pool=pool,
+        read_fraction=0.9,
+        seed=args.seed,
+    )
+    run_tao(client, workload, args.ops)
+    for start, _ in edges[:: max(1, len(edges) // 8)]:
+        client.traverse(start)
+
+    ordering = db.ordering_stats()
+    resolved = sum(ordering.values()) or 1
+    fastpath = db.fastpath_stats()
+    rows = (
+        [(k, v) for k, v in sorted(ordering.items())]
+        + [("reactive fraction", f"{ordering['reactive'] / resolved:.5f}")]
+        + [(k, v) for k, v in sorted(fastpath.items())]
+    )
+    print(format_table(
+        "Ordering fast-path counters", ["counter", "value"], rows
+    ))
     return 0
 
 
@@ -259,6 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     tao.add_argument("--announce", type=int, default=4)
     tao.add_argument("--seed", type=int, default=42)
     tao.set_defaults(func=_cmd_tao)
+
+    stats = sub.add_parser(
+        "stats", help="ordering fast-path counters after a mixed workload"
+    )
+    stats.add_argument("--ops", type=int, default=400)
+    stats.add_argument("--vertices", type=int, default=150)
+    stats.add_argument("--announce", type=int, default=40)
+    stats.add_argument("--seed", type=int, default=42)
+    stats.set_defaults(func=_cmd_stats)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument(

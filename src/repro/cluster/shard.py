@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-from ..core.ordering import RefinableOrdering
+from ..core.ordering import EarliestScheduler, RefinableOrdering
 from ..core.vclock import Ordering, VectorTimestamp
 from ..errors import ClusterError
 from ..graph.mvgraph import MultiVersionGraph, SnapshotView
@@ -65,6 +65,9 @@ class ShardServer:
         self._queues: List[List[Tuple[Tuple[int, int], QueuedTransaction]]] = [
             [] for _ in range(num_gatekeepers)
         ]
+        # Tournament over queue heads: a pop replaces one head, so only
+        # that bracket path is re-compared (Fig 6 loop, log G per pop).
+        self._scheduler = EarliestScheduler(self.ordering, num_gatekeepers)
         self._expected_seqno = [0] * num_gatekeepers
         # Arrival order at this shard: the tiebreak the timeline oracle
         # prefers for concurrent transactions (section 3.4).  Because the
@@ -162,13 +165,11 @@ class ShardServer:
             heads = self._all_heads()
             if heads is None:
                 break
-            earliest = min(
-                range(self.num_gatekeepers),
-                key=lambda i: _OrderKey(
-                    heads[i].ts,
-                    self.ordering,
-                    self._arrival.get(heads[i].ts.id, 0),
-                ),
+            earliest = self._scheduler.select(
+                [
+                    (h.ts, self._arrival.get(h.ts.id, 0))
+                    for h in heads
+                ]
             )
             qtx = heads[earliest]
             if stop_before is not None:
@@ -257,19 +258,15 @@ class ShardServer:
         """
         applied = 0
         while True:
-            candidates = [
-                i for i in range(self.num_gatekeepers) if self._queues[i]
-            ]
-            if not candidates:
-                break
-            earliest = min(
-                candidates,
-                key=lambda i: _OrderKey(
-                    self._queues[i][0][1].ts,
-                    self.ordering,
-                    self._arrival.get(self._queues[i][0][1].ts.id, 0),
-                ),
+            earliest = self._scheduler.select(
+                [
+                    (q[0][1].ts, self._arrival.get(q[0][1].ts.id, 0))
+                    if q else None
+                    for q in self._queues
+                ]
             )
+            if earliest is None:
+                break
             _, qtx = heapq.heappop(self._queues[earliest])
             self._arrival.pop(qtx.ts.id, None)
             self._apply(qtx)
@@ -279,7 +276,7 @@ class ShardServer:
     def snapshot(self, prog_ts: VectorTimestamp) -> SnapshotView:
         """The consistent view a program stamped ``prog_ts`` reads."""
         self.stats.programs_started += 1
-        return self.graph.at(prog_ts)
+        return self.graph.at(prog_ts, memo_stats=self.ordering.stats)
 
     # -- demand paging (section 6.1) --------------------------------------
 
@@ -350,38 +347,3 @@ class ShardServer:
         self.flush_all()
         self._queues = [[] for _ in range(self.num_gatekeepers)]
         self._expected_seqno = [None] * self.num_gatekeepers
-
-
-class _OrderKey:
-    """Adapter so ``min`` on queue heads consults refinable order.
-
-    Comparing two keys may itself commit an oracle decision for concurrent
-    heads — exactly the paper's behaviour when a shard must pick among
-    concurrent transactions (T3, T4, T5 in Fig 6).  Unordered pairs are
-    committed in **arrival order** (section 3.4's oracle preference),
-    which extends backing-store commit order and therefore preserves the
-    same-vertex ordering guarantee of section 4.2.
-    """
-
-    __slots__ = ("ts", "ordering", "arrival")
-
-    def __init__(
-        self,
-        ts: VectorTimestamp,
-        ordering: RefinableOrdering,
-        arrival: int,
-    ):
-        self.ts = ts
-        self.ordering = ordering
-        self.arrival = arrival
-
-    def __lt__(self, other: "_OrderKey") -> bool:
-        prefer = (
-            Ordering.BEFORE
-            if self.arrival <= other.arrival
-            else Ordering.AFTER
-        )
-        return (
-            self.ordering.compare(self.ts, other.ts, prefer=prefer)
-            is Ordering.BEFORE
-        )

@@ -23,13 +23,44 @@ chain survives the loss of any proper subset of replicas.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import CycleError, OrderingError
 from .vclock import Ordering, VectorTimestamp
 
 EventId = Tuple[int, int, int]
+
+
+class OracleStats:
+    """Message, decision, and fast-path counters (Fig 14 reports these)."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.decisions = 0
+        self.events_created = 0
+        self.events_collected = 0
+        # Reachability fast-path counters: BFS nodes actually expanded,
+        # candidate events skipped by the skyline index without a vector
+        # compare, and queries answered by the positive-reachability cache.
+        self.bfs_expansions = 0
+        self.bfs_pruned = 0
+        self.reach_cache_hits = 0
+
+    @property
+    def messages(self) -> int:
+        """Total request messages the oracle served."""
+        return self.queries + self.decisions + self.events_created
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.decisions = 0
+        self.events_created = 0
+        self.events_collected = 0
+        self.bfs_expansions = 0
+        self.bfs_pruned = 0
+        self.reach_cache_hits = 0
 
 
 class EventDependencyGraph:
@@ -41,9 +72,27 @@ class EventDependencyGraph:
     therefore cycle detection) runs over the union of both edge sets, so a
     commitment can never contradict either an earlier commitment or the
     vector clocks.
+
+    Two structures keep reachability off the O(events) scan the naive
+    union would need:
+
+    * a *skyline index* over the events with explicit out-edges, bucketed
+      by (epoch, issuer) and sorted by the issuer's counter.  One
+      gatekeeper's stamps within an epoch form a domination chain (each
+      later stamp dominates every earlier one), so "the implied successors
+      of ``current`` in this bucket" is a *suffix* of the bucket, found by
+      binary search instead of a full scan;
+    * a *positive-reachability cache*.  The DAG only grows and ordering
+      decisions are irreversible, so ``reaches(a, b) == True`` stays true
+      forever; only :meth:`remove_event` (GC) invalidates it, because a
+      collected event may later be re-registered with no memory of its
+      old edges.
     """
 
-    def __init__(self) -> None:
+    _REACH_CACHE_LIMIT = 1 << 16
+
+    def __init__(self, stats: Optional[OracleStats] = None) -> None:
+        self.stats = stats if stats is not None else OracleStats()
         self._events: Dict[EventId, VectorTimestamp] = {}
         self._succ: Dict[EventId, Set[EventId]] = {}
         self._pred: Dict[EventId, Set[EventId]] = {}
@@ -53,6 +102,9 @@ class EventDependencyGraph:
         # transitive), so an implied hop that is not the final step must
         # land on an event that continues explicitly.
         self._has_out: Set[EventId] = set()
+        # Skyline index over _has_out: (epoch, issuer) -> sorted counters.
+        self._out_index: Dict[Tuple[int, int], List[int]] = {}
+        self._reach_cache: Dict[Tuple[EventId, EventId], bool] = {}
 
     def __len__(self) -> int:
         return len(self._events)
@@ -76,6 +128,50 @@ class EventDependencyGraph:
     def has_edge(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
         return b.id in self._succ.get(a.id, ())
 
+    # -- skyline index maintenance ------------------------------------
+
+    def _add_out(self, event_id: EventId) -> None:
+        if event_id in self._has_out:
+            return
+        self._has_out.add(event_id)
+        insort(
+            self._out_index.setdefault(event_id[:2], []), event_id[2]
+        )
+
+    def _drop_out(self, event_id: EventId) -> None:
+        if event_id not in self._has_out:
+            return
+        self._has_out.discard(event_id)
+        bucket = self._out_index[event_id[:2]]
+        bucket.pop(bisect_left(bucket, event_id[2]))
+        if not bucket:
+            del self._out_index[event_id[:2]]
+
+    def _implied_out_suffix(
+        self, current: VectorTimestamp, bucket_key: Tuple[int, int]
+    ) -> int:
+        """Index of the first event in ``bucket_key``'s counter list that
+        ``current`` happens-before.
+
+        Within a bucket the events form a domination chain, so the
+        predicate "current happens-before event" is monotone along the
+        sorted counters and the boundary is found by bisection.
+        """
+        epoch, issuer = bucket_key
+        counters = self._out_index[bucket_key]
+        # Necessary condition: a dominating vector is at least current's
+        # value in the bucket issuer's own component.
+        lo = bisect_left(counters, current.clocks[issuer])
+        hi = len(counters)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = self._events[(epoch, issuer, counters[mid])]
+            if current.happens_before(candidate):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
     def reaches(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
         """True iff a path a -> ... -> b exists over explicit or implied
         edges."""
@@ -83,10 +179,28 @@ class EventDependencyGraph:
             return False
         if a.happens_before(b):
             return True
+        key = (a.id, b.id)
+        if key in self._reach_cache:
+            self.stats.reach_cache_hits += 1
+            return True
+        if self._search(a, b):
+            self._cache_reachable(key)
+            return True
+        return False
+
+    def _cache_reachable(self, key: Tuple[EventId, EventId]) -> None:
+        if len(self._reach_cache) >= self._REACH_CACHE_LIMIT:
+            self._reach_cache.clear()
+        self._reach_cache[key] = True
+
+    def _search(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
+        stats = self.stats
+        events = self._events
         seen: Set[EventId] = {a.id}
         frontier = deque([a.id])
         while frontier:
-            current = self._events[frontier.popleft()]
+            current = events[frontier.popleft()]
+            stats.bfs_expansions += 1
             if current.happens_before(b):
                 return True
             for succ_id in self._succ[current.id]:
@@ -98,13 +212,24 @@ class EventDependencyGraph:
             # Implied successors: only events that continue explicitly
             # matter (an implied hop ending the path was handled by the
             # happens_before(b) check above; implied-then-implied
-            # collapses into one implied hop by transitivity).
-            for other_id in self._has_out:
-                if other_id in seen:
+            # collapses into one implied hop by transitivity).  Each
+            # bucket contributes a bisected suffix, not a full scan.
+            current_epoch = current.epoch
+            for bucket_key, counters in self._out_index.items():
+                if bucket_key[0] < current_epoch:
+                    stats.bfs_pruned += len(counters)
                     continue
-                if current.happens_before(self._events[other_id]):
-                    seen.add(other_id)
-                    frontier.append(other_id)
+                if bucket_key[0] > current_epoch:
+                    # A higher epoch is implied-after in its entirety.
+                    start = 0
+                else:
+                    start = self._implied_out_suffix(current, bucket_key)
+                    stats.bfs_pruned += start
+                for counter in counters[start:]:
+                    other_id = (bucket_key[0], bucket_key[1], counter)
+                    if other_id not in seen:
+                        seen.add(other_id)
+                        frontier.append(other_id)
         return False
 
     def add_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
@@ -118,7 +243,8 @@ class EventDependencyGraph:
             raise CycleError(f"ordering {a} before {b} would create a cycle")
         self._succ[a.id].add(b.id)
         self._pred[b.id].add(a.id)
-        self._has_out.add(a.id)
+        self._add_out(a.id)
+        self._cache_reachable((a.id, b.id))
 
     def remove_event(self, ts: VectorTimestamp) -> None:
         """Garbage-collect one event, bridging its edges transitively.
@@ -131,7 +257,7 @@ class EventDependencyGraph:
         preds = self._pred.pop(ts.id)
         succs = self._succ.pop(ts.id)
         del self._events[ts.id]
-        self._has_out.discard(ts.id)
+        self._drop_out(ts.id)
         for p in preds:
             self._succ[p].discard(ts.id)
             for s in succs:
@@ -139,32 +265,14 @@ class EventDependencyGraph:
                     self._succ[p].add(s)
                     self._pred[s].add(p)
             if self._succ[p]:
-                self._has_out.add(p)
+                self._add_out(p)
             else:
-                self._has_out.discard(p)
+                self._drop_out(p)
         for s in succs:
             self._pred[s].discard(ts.id)
-
-
-class OracleStats:
-    """Message and decision counters, used by the Fig 14 experiment."""
-
-    def __init__(self) -> None:
-        self.queries = 0
-        self.decisions = 0
-        self.events_created = 0
-        self.events_collected = 0
-
-    @property
-    def messages(self) -> int:
-        """Total request messages the oracle served."""
-        return self.queries + self.decisions + self.events_created
-
-    def reset(self) -> None:
-        self.queries = 0
-        self.decisions = 0
-        self.events_created = 0
-        self.events_collected = 0
+        # A collected event that re-registers later starts with a clean
+        # slate, so positive reachability through it must be forgotten.
+        self._reach_cache.clear()
 
 
 class TimelineOracle:
@@ -175,9 +283,11 @@ class TimelineOracle:
     replicas identical by forwarding the same operations down a chain.
     """
 
-    def __init__(self) -> None:
-        self._graph = EventDependencyGraph()
-        self.stats = OracleStats()
+    def __init__(self, graph: Optional[EventDependencyGraph] = None) -> None:
+        # The graph and the oracle share one stats object, so the graph's
+        # reachability fast-path counters surface through ``oracle.stats``.
+        self._graph = graph if graph is not None else EventDependencyGraph()
+        self.stats = self._graph.stats
 
     @property
     def graph(self) -> EventDependencyGraph:

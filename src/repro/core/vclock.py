@@ -64,6 +64,15 @@ class VectorTimestamp:
                 f"issuer {self.issuer} out of range for "
                 f"{len(self.clocks)} gatekeepers"
             )
+        # Timestamps are immutable and compared/hashed on every ordering
+        # decision, visibility check, and queue pop: precompute the id
+        # triple and its hash once instead of rebuilding them per call.
+        identity = (self.epoch, self.issuer, self.clocks[self.issuer])
+        object.__setattr__(self, "_id", identity)
+        object.__setattr__(self, "_hash", hash(identity))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __len__(self) -> int:
         return len(self.clocks)
@@ -90,7 +99,7 @@ class VectorTimestamp:
         uses the full vector as a transaction identifier and this triple is
         the minimal unique projection of it.
         """
-        return (self.epoch, self.issuer, self.local_clock)
+        return self._id
 
     def compare(self, other: "VectorTimestamp") -> Ordering:
         """Compare under the happens-before partial order.
@@ -99,6 +108,11 @@ class VectorTimestamp:
         epoch, ``a`` happens-before ``b`` iff ``a``'s vector is dominated
         componentwise by ``b``'s (and they differ).  Vectors that do not
         dominate each other are concurrent and need the timeline oracle.
+
+        Same-issuer pairs take a scalar fast path: a gatekeeper's own
+        counter strictly increases per issued stamp while its view of
+        every peer only grows, so within an epoch one gatekeeper's stamps
+        form a domination chain and the issuer's counter alone decides.
         """
         if len(self.clocks) != len(other.clocks):
             raise ValueError(
@@ -109,23 +123,29 @@ class VectorTimestamp:
             return (
                 Ordering.BEFORE if self.epoch < other.epoch else Ordering.AFTER
             )
-        if self.id == other.id:
-            return Ordering.EQUAL
+        if self.issuer == other.issuer:
+            mine = self.clocks[self.issuer]
+            theirs = other.clocks[other.issuer]
+            if mine == theirs:
+                return Ordering.EQUAL
+            return Ordering.BEFORE if mine < theirs else Ordering.AFTER
         some_less = False
         some_greater = False
         for mine, theirs in zip(self.clocks, other.clocks):
             if mine < theirs:
+                if some_greater:
+                    return Ordering.CONCURRENT
                 some_less = True
             elif mine > theirs:
+                if some_less:
+                    return Ordering.CONCURRENT
                 some_greater = True
-        if some_less and not some_greater:
+        if some_less:
             return Ordering.BEFORE
-        if some_greater and not some_less:
+        if some_greater:
             return Ordering.AFTER
-        if not some_less and not some_greater:
-            # Identical vectors issued by different gatekeepers: possible
-            # right after an announce; they are concurrent events.
-            return Ordering.CONCURRENT
+        # Identical vectors issued by different gatekeepers: possible
+        # right after an announce; they are concurrent events.
         return Ordering.CONCURRENT
 
     def happens_before(self, other: "VectorTimestamp") -> bool:

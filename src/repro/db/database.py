@@ -440,7 +440,7 @@ class Weaver:
             shard = self.shards[shard_index]
             shard.stats.vertices_read += 1
             shard.ensure_paged(handle)
-            snapshot = shard.graph.at(ts)
+            snapshot = shard.graph.at(ts, memo_stats=shard.ordering.stats)
             if not snapshot.has_vertex(handle):
                 return None
             return snapshot.vertex(handle)
@@ -466,7 +466,19 @@ class Weaver:
             shard.collect_below(watermark) for shard in self.shards
         )
         oracle_reclaimed = self.oracle.collect_below(watermark)
-        return {"graph": graph_reclaimed, "oracle": oracle_reclaimed}
+        # Shard-local decision caches hold entries keyed on collected
+        # events; evict the ones the watermark dominates so the caches
+        # stay bounded within an epoch too.
+        cache_evicted = sum(
+            shard.ordering.cache.evict_below(watermark)
+            for shard in self.shards
+            if shard.ordering.cache is not None
+        )
+        return {
+            "graph": graph_reclaimed,
+            "oracle": oracle_reclaimed,
+            "ordering_cache": cache_evicted,
+        }
 
     # -- failure handling (section 4.3) -----------------------------------
 
@@ -509,6 +521,29 @@ class Weaver:
             totals["proactive"] += stats.proactive
             totals["cached"] += stats.cached
             totals["reactive"] += stats.reactive
+        return totals
+
+    def fastpath_stats(self) -> Dict[str, int]:
+        """Counters for work the ordering fast paths avoided entirely.
+
+        Kept separate from :meth:`ordering_stats` so the reactive-fraction
+        arithmetic the figures report stays on resolved comparisons only.
+        """
+        totals = {
+            "snapshot_memo_hits": 0,
+            "heap_compares_saved": 0,
+            "cache_hits": 0,
+        }
+        for shard in self.shards:
+            stats = shard.ordering.stats
+            totals["snapshot_memo_hits"] += stats.snapshot_memo_hits
+            totals["heap_compares_saved"] += stats.heap_compares_saved
+            if shard.ordering.cache is not None:
+                totals["cache_hits"] += shard.ordering.cache.hits
+        oracle_stats = self.oracle_head().stats
+        totals["oracle_bfs_expansions"] = oracle_stats.bfs_expansions
+        totals["oracle_bfs_pruned"] = oracle_stats.bfs_pruned
+        totals["oracle_reach_cache_hits"] = oracle_stats.reach_cache_hits
         return totals
 
     def oracle_head(self):

@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..core.vclock import VectorTimestamp
 from ..errors import NoSuchEdge, NoSuchVertex
 from .elements import Edge, Vertex
-from .properties import Comparator, vclock_compare
+from .properties import Comparator, MemoizedComparator, vclock_compare
 
 
 class MultiVersionGraph:
@@ -127,10 +127,17 @@ class MultiVersionGraph:
     # -- reads ----------------------------------------------------------
 
     def at(
-        self, ts: VectorTimestamp, cmp: Optional[Comparator] = None
+        self,
+        ts: VectorTimestamp,
+        cmp: Optional[Comparator] = None,
+        memo_stats=None,
     ) -> "SnapshotView":
-        """A consistent read-only view of the graph at ``ts``."""
-        return SnapshotView(self, ts, cmp or self._cmp)
+        """A consistent read-only view of the graph at ``ts``.
+
+        ``memo_stats`` (an ``OrderingStats``-like object) receives the
+        view's snapshot-memo hit counts, if given.
+        """
+        return SnapshotView(self, ts, cmp or self._cmp, memo_stats)
 
     def release_vertex(self, handle: str):
         """Detach a vertex record (with its archived incarnations) for
@@ -313,14 +320,27 @@ class SnapshotView:
         graph: MultiVersionGraph,
         ts: VectorTimestamp,
         cmp: Comparator,
+        memo_stats=None,
     ):
         self._graph = graph
         self._ts = ts
+        # Every visibility check this view (and the vertex/edge views it
+        # hands out) performs compares some write timestamp against the
+        # one fixed snapshot timestamp; a bounded per-snapshot memo makes
+        # the repeats cost one dict lookup.  Safe because comparator
+        # decisions never change once made.
+        if not isinstance(cmp, MemoizedComparator):
+            cmp = MemoizedComparator(cmp, stats=memo_stats)
         self._cmp = cmp
 
     @property
     def timestamp(self) -> VectorTimestamp:
         return self._ts
+
+    @property
+    def memo_hits(self) -> int:
+        """Visibility checks answered by the per-snapshot memo."""
+        return self._cmp.hits if isinstance(self._cmp, MemoizedComparator) else 0
 
     def has_vertex(self, handle: str) -> bool:
         return (

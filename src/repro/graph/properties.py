@@ -29,6 +29,54 @@ def vclock_compare(a: VectorTimestamp, b: VectorTimestamp) -> Ordering:
     return a.compare(b)
 
 
+class MemoizedComparator:
+    """A bounded memo over a comparator, for repeated visibility checks.
+
+    A snapshot view resolves the same (write-ts, read-ts) pair once per
+    property record it walks; since comparator outcomes are stable
+    (vector-clock comparisons are pure and oracle decisions irreversible),
+    the repeat resolutions collapse to one dict lookup.  The memo is
+    bounded and simply resets when full — it is a cache, never an
+    authority.
+    """
+
+    __slots__ = ("_cmp", "_memo", "_limit", "_stats", "hits")
+
+    def __init__(
+        self,
+        cmp: Comparator,
+        limit: int = 8192,
+        stats: Optional[Any] = None,
+    ):
+        self._cmp = cmp
+        self._memo: Dict[Any, Ordering] = {}
+        self._limit = limit
+        # Optional OrderingStats-like sink with a snapshot_memo_hits field.
+        self._stats = stats
+        self.hits = 0
+
+    @property
+    def wrapped(self) -> Comparator:
+        return self._cmp
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __call__(self, a: VectorTimestamp, b: VectorTimestamp) -> Ordering:
+        key = (a.id, b.id)
+        found = self._memo.get(key)
+        if found is not None:
+            self.hits += 1
+            if self._stats is not None:
+                self._stats.snapshot_memo_hits += 1
+            return found
+        result = self._cmp(a, b)
+        if len(self._memo) >= self._limit:
+            self._memo.clear()
+        self._memo[key] = result
+        return result
+
+
 class LifeSpan:
     """The [created, deleted) timestamp interval of one graph object."""
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.oracle import TimelineOracle
 from repro.core.ordering import (
+    EarliestScheduler,
     OrderingCache,
     RefinableOrdering,
     make_oracle,
@@ -131,3 +132,141 @@ class TestMakeOracle:
     def test_chain(self):
         oracle = make_oracle(3)
         assert oracle.chain_length == 3
+
+
+class TestEvictBelow:
+    def test_evicts_older_epoch_pairs(self):
+        cache = OrderingCache()
+        old_a = ts([1, 0], issuer=0, epoch=0)
+        old_b = ts([0, 1], issuer=1, epoch=0)
+        cache.put(old_a, old_b, Ordering.BEFORE)
+        watermark = ts([0, 0], issuer=0, epoch=1)
+        assert cache.evict_below(watermark) == 1
+        assert len(cache) == 0
+
+    def test_evicts_within_epoch_when_watermark_covers_both(self):
+        # The seed compared epochs only, so same-epoch entries lived
+        # forever; the per-issuer counter check reclaims them.
+        cache = OrderingCache()
+        cache.put(A, B, Ordering.BEFORE)  # ids (0,0,1) and (0,1,1)
+        watermark = ts([5, 5], issuer=0, epoch=0)
+        assert cache.evict_below(watermark) == 1
+        assert len(cache) == 0
+
+    def test_keeps_pairs_with_one_live_event(self):
+        cache = OrderingCache()
+        live = ts([9, 0], issuer=0)  # counter 9 > watermark's 5
+        cache.put(A, B, Ordering.BEFORE)
+        cache.put(live, B, Ordering.AFTER)
+        watermark = ts([5, 5], issuer=1, epoch=0)
+        assert cache.evict_below(watermark) == 1
+        assert cache.get(live, B) is Ordering.AFTER
+
+    def test_boundary_counter_is_evicted(self):
+        # counter == watermark component counts as dominated (<=): the
+        # watermark itself is the oldest in-flight stamp.
+        cache = OrderingCache()
+        cache.put(A, B, Ordering.BEFORE)
+        watermark = ts([1, 1], issuer=0, epoch=0)
+        assert cache.evict_below(watermark) == 1
+
+
+class TestEarliestScheduler:
+    def _make(self, num_queues=2):
+        ordering = RefinableOrdering(TimelineOracle())
+        return ordering, EarliestScheduler(ordering, num_queues)
+
+    def test_single_queue(self):
+        _, sched = self._make(1)
+        assert sched.select([(A, 0)]) == 0
+        assert sched.select([None]) is None
+
+    def test_picks_vclock_earliest(self):
+        _, sched = self._make(2)
+        later = ts([3, 0])
+        assert sched.select([(later, 0), (A, 1)]) == 1
+
+    def test_all_empty_returns_none(self):
+        _, sched = self._make(3)
+        assert sched.select([None, None, None]) is None
+
+    def test_empty_queue_loses_bracket(self):
+        _, sched = self._make(3)
+        assert sched.select([None, (A, 0), None]) == 1
+
+    def test_concurrent_heads_follow_arrival_order(self):
+        _, sched = self._make(2)
+        assert sched.select([(A, 5), (B, 2)]) == 1
+
+    def test_decision_sticks_across_calls(self):
+        ordering, sched = self._make(2)
+        first = sched.select([(A, 0), (B, 1)])
+        again = sched.select([(A, 0), (B, 1)])
+        assert first == again
+
+    def test_matches_linear_earliest(self):
+        # The tournament must agree with the seed's min() scan on a
+        # shared oracle, whatever the mix of ordered/concurrent heads.
+        oracle = TimelineOracle()
+        ordering = RefinableOrdering(oracle)
+        sched = EarliestScheduler(ordering, 3)
+        heads = [(ts([2, 0, 0], issuer=0), 3),
+                 (ts([0, 1, 0], issuer=1), 1),
+                 (ts([0, 0, 1], issuer=2), 2)]
+        picked = sched.select(heads)
+        linear = ordering.earliest([h[0] for h in heads])
+        assert heads[picked][0] is linear
+
+    def test_unchanged_heads_save_compares(self):
+        ordering, sched = self._make(4)
+        entries = [(ts([1, 0, 0, 0], issuer=0), 0),
+                   (ts([0, 1, 0, 0], issuer=1), 1),
+                   (ts([0, 0, 1, 0], issuer=2), 2),
+                   (ts([0, 0, 0, 1], issuer=3), 3)]
+        sched.select(entries)
+        saved_before = ordering.stats.heap_compares_saved
+        sched.select(entries)  # nothing changed: zero compares needed
+        assert ordering.stats.heap_compares_saved > saved_before
+
+    def test_replacing_one_head_replays_one_path(self):
+        ordering, sched = self._make(4)
+        entries = [(ts([1, 0, 0, 0], issuer=0), 0),
+                   (ts([0, 1, 0, 0], issuer=1), 1),
+                   (ts([0, 0, 1, 0], issuer=2), 2),
+                   (ts([0, 0, 0, 1], issuer=3), 3)]
+        assert sched.select(entries) == 0
+        entries[0] = (ts([9, 0, 0, 0], issuer=0), 9)
+        picked = sched.select(entries)
+        assert picked != 0  # the new head is no longer earliest
+
+    def test_wrong_entry_count_raises(self):
+        _, sched = self._make(2)
+        with pytest.raises(ValueError):
+            sched.select([(A, 0)])
+
+    def test_zero_queues_rejected(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        with pytest.raises(ValueError):
+            EarliestScheduler(ordering, 0)
+
+
+class TestFastpathCounters:
+    def test_new_counters_start_zero_and_reset(self):
+        ordering = RefinableOrdering(TimelineOracle())
+        stats = ordering.stats
+        assert stats.snapshot_memo_hits == 0
+        assert stats.heap_compares_saved == 0
+        stats.snapshot_memo_hits = 4
+        stats.heap_compares_saved = 9
+        stats.reset()
+        assert stats.snapshot_memo_hits == 0
+        assert stats.heap_compares_saved == 0
+
+    def test_fastpath_counters_not_in_total(self):
+        # total feeds reactive_fraction (Fig 9/14); avoided work must
+        # not dilute it.
+        ordering = RefinableOrdering(TimelineOracle())
+        ordering.compare(A, C)
+        ordering.stats.snapshot_memo_hits = 100
+        ordering.stats.heap_compares_saved = 100
+        assert ordering.stats.total == 1

@@ -180,32 +180,43 @@ class TestVectorClock:
 
 
 # -- property-based: compare() is a strict partial order -------------------
-
-vectors = st.lists(st.integers(0, 6), min_size=2, max_size=4)
-
-
-def stamps(draw, size):
-    clocks = draw(st.lists(st.integers(0, 6), min_size=size, max_size=size))
-    issuer = draw(st.integers(0, size - 1))
-    epoch = draw(st.integers(0, 2))
-    return VectorTimestamp(epoch, tuple(clocks), issuer)
+#
+# Stamps are drawn from simulated gatekeeper histories (ticks, announce/
+# observe exchanges, barriered epoch bumps) rather than as arbitrary
+# vectors: compare()'s same-issuer scalar fast path encodes the system
+# invariant that one gatekeeper's stamps form a domination chain, which a
+# hand-built vector (e.g. a peer component that travels backwards) need
+# not satisfy — and no real clock can produce.
 
 
-triple = st.integers(2, 4).flatmap(
-    lambda n: st.tuples(
-        *(
-            st.builds(
-                VectorTimestamp,
-                st.integers(0, 2),
-                st.lists(
-                    st.integers(0, 6), min_size=n, max_size=n
-                ).map(tuple),
-                st.integers(0, n - 1),
-            )
-            for _ in range(3)
-        )
+@st.composite
+def issued_triple(draw):
+    size = draw(st.integers(2, 4))
+    clocks = [VectorClock(size, i) for i in range(size)]
+    epoch = 0
+    stamps = []
+    for _ in range(draw(st.integers(3, 14))):
+        kind = draw(st.integers(0, 9))
+        actor = draw(st.integers(0, size - 1))
+        if kind == 0 and epoch < 2:
+            # Cluster-manager barrier: every clock enters the new epoch
+            # before any stamp of that epoch is issued (section 4.3).
+            epoch += 1
+            for clock in clocks:
+                clock.advance_epoch(epoch)
+        elif kind <= 3:
+            peer = draw(st.integers(0, size - 1))
+            clocks[actor].observe(clocks[peer].announce())
+        else:
+            stamps.append(clocks[actor].tick())
+    while len(stamps) < 3:
+        stamps.append(clocks[draw(st.integers(0, size - 1))].tick())
+    return tuple(
+        stamps[draw(st.integers(0, len(stamps) - 1))] for _ in range(3)
     )
-)
+
+
+triple = issued_triple()
 
 
 @given(triple)
