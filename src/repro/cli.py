@@ -10,7 +10,10 @@ Commands:
 * ``tao --ops N`` — replay the Table 1 workload against a live
   deployment and report the protocol statistics;
 * ``stats`` — run a short mixed workload and report the ordering
-  fast-path counters (memo hits, pruned BFS work, scheduler savings).
+  fast-path counters (memo hits, pruned BFS work, scheduler savings);
+* ``chaos --seed N`` — a seeded fault-injection run (message drops,
+  duplicates, delays, a partition, server crashes) checked end-to-end
+  for strict serializability.
 """
 
 from __future__ import annotations
@@ -183,6 +186,44 @@ def _cmd_simulate(args) -> int:
     return 0 if found else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded fault-injection run with the strict-serializability check."""
+    from .sim.clock import MSEC
+    from .workloads.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        duration=args.duration * MSEC,
+        num_vertices=args.vertices,
+        skew=args.skew,
+    )
+    fault_rows = sorted(report.faults.items()) or [("(none fired)", 0)]
+    rows = [
+        ("seed", report.seed),
+        ("horizon (ms)", round(report.duration * 1000, 1)),
+        ("committed", report.committed),
+        ("aborted", report.aborted),
+        ("reads completed", report.reads_completed),
+        ("reads lost to crashes", report.reads_lost),
+        ("recoveries", report.recoveries),
+        ("stragglers dropped", report.stragglers_dropped),
+        ("duplicates discarded", report.duplicates_discarded),
+    ] + [(f"fault: {kind}", count) for kind, count in fault_rows] + [
+        ("history digest", report.digest[:16]),
+        ("violations", len(report.violations)),
+    ]
+    print(format_table(
+        "Chaos run (seeded, reproducible)", ["metric", "value"], rows
+    ))
+    if report.violations:
+        for violation in report.violations:
+            print(f"  VIOLATION {violation}")
+        return 1
+    print("strict serializability: OK "
+          "(re-run with the same --seed for the identical history)")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import harness
 
@@ -312,6 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--announce", type=int, default=40)
     stats.add_argument("--seed", type=int, default=42)
     stats.set_defaults(func=_cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection + strict-serializability check",
+    )
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--duration", type=float, default=60,
+                       help="chaos-phase horizon in milliseconds")
+    chaos.add_argument("--vertices", type=int, default=12)
+    chaos.add_argument("--skew", type=float, default=0.8,
+                       help="Zipf skew of write/read targets")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument(

@@ -20,11 +20,20 @@ class QueuedTransaction:
     ``operations`` is empty for NOPs — the heartbeat transactions that
     keep every queue non-empty under light load (section 4.2).  ``seqno``
     is the FIFO sequence number on the (gatekeeper, shard) channel.
+
+    ``tiebreak`` is an optional sender-assigned rank used as the oracle
+    preference for concurrent pairs (section 3.4's "arrival order").  It
+    is assigned in send order — which extends backing-store commit order,
+    because gatekeepers forward synchronously at commit — so the
+    preference stays commit-order-faithful even when network faults
+    deliver channels at different speeds.  When absent, receivers fall
+    back to local arrival order (equivalent on uniform channels).
     """
 
     ts: VectorTimestamp
     operations: Tuple[Operation, ...] = ()
     seqno: Optional[int] = None
+    tiebreak: Optional[int] = None
 
     @property
     def is_nop(self) -> bool:

@@ -40,6 +40,7 @@ class ShardStats:
         self.programs_started = 0
         self.vertices_read = 0
         self.out_of_order_rejected = 0
+        self.duplicates_discarded = 0
         self.pages_in = 0
         self.pages_out = 0
 
@@ -80,6 +81,12 @@ class ShardServer:
         # Demand paging (section 6.1): a loader that materializes an
         # evicted vertex's committed state from the backing store.
         self._pager: Optional[Callable[[str], Optional[dict]]] = None
+        # Persistent apply observer: called as on_apply(shard_index, qtx)
+        # for every non-NOP transaction applied, including those drained
+        # by the epoch-barrier flush.  The history checker hangs here.
+        self.on_apply: Optional[Callable[[int, QueuedTransaction], None]] = (
+            None
+        )
 
     @property
     def name(self) -> str:
@@ -115,9 +122,15 @@ class ShardServer:
                 # Resynchronizing after an epoch barrier: adopt the
                 # first delivery's number as the new baseline.
                 self._expected_seqno[gk_index] = qtx.seqno + 1
-            elif qtx.seqno != expected:
-                # FIFO channels with sequence numbers (section 4.2): a gap
-                # or duplicate means the channel misbehaved.
+            elif qtx.seqno < expected:
+                # Already delivered: a transport-level retransmission
+                # duplicated the message.  Sequence numbers exist exactly
+                # to make redelivery idempotent (section 4.2) — discard.
+                self.stats.duplicates_discarded += 1
+                return
+            elif qtx.seqno > expected:
+                # FIFO channels with sequence numbers (section 4.2): a
+                # gap means the channel misbehaved.
                 self.stats.out_of_order_rejected += 1
                 raise ClusterError(
                     f"out-of-order delivery from gk{gk_index}: "
@@ -126,8 +139,13 @@ class ShardServer:
             else:
                 self._expected_seqno[gk_index] += 1
         if qtx.ts.id not in self._arrival:
-            self._arrival[qtx.ts.id] = self._arrival_counter
-            self._arrival_counter += 1
+            if qtx.tiebreak is not None:
+                # Sender-assigned rank: extends backing-store commit
+                # order, immune to cross-channel delivery skew.
+                self._arrival[qtx.ts.id] = qtx.tiebreak
+            else:
+                self._arrival[qtx.ts.id] = self._arrival_counter
+                self._arrival_counter += 1
         heapq.heappush(self._queues[gk_index], (qtx.queue_key, qtx))
 
     def queue_depths(self) -> List[int]:
@@ -200,6 +218,8 @@ class ShardServer:
             else:
                 op.apply_graph(self.graph, qtx.ts)
         self.stats.transactions_applied += 1
+        if self.on_apply is not None:
+            self.on_apply(self.index, qtx)
 
     def _apply_with_paging(self, op, ts: VectorTimestamp) -> None:
         """Apply one op, paging its vertex in on demand.

@@ -129,8 +129,14 @@ class Gatekeeper:
             for vertex in touched:
                 tx.put(_LAST_UPDATE_PREFIX + vertex, ts)
             tx.commit()
-        except TransactionAborted:
+        except Exception:
+            # Every failure path — OCC conflict, timestamp inversion, or
+            # a validity error raised by apply_writes — must release the
+            # store transaction and count as an abort; a commit that
+            # raised has already closed it.
             self.stats.aborts += 1
+            if tx.is_open:
+                tx.abort()
             raise
         self.stats.commits += 1
         return ts
@@ -161,8 +167,10 @@ class Gatekeeper:
             for vertex in touched:
                 store_tx.put(_LAST_UPDATE_PREFIX + vertex, ts)
             store_tx.commit()
-        except TransactionAborted:
+        except Exception:
             self.stats.aborts += 1
+            if store_tx.is_open:
+                store_tx.abort()
             raise
         self.stats.commits += 1
         return ts

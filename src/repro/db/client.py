@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.vclock import VectorTimestamp
@@ -21,13 +22,34 @@ from ..programs.framework import NodeProgram, ProgramResult
 from .database import Weaver
 from .transactions import Transaction
 
+#: Base delay for the first retry backoff, in seconds.
+DEFAULT_BACKOFF_BASE = 1e-4
+#: Backoff is capped so a long retry chain stays bounded.
+DEFAULT_BACKOFF_CAP = 0.1
+
 
 class WeaverClient:
     """A connection to a Weaver deployment."""
 
-    def __init__(self, db: Weaver, max_retries: int = 16):
+    def __init__(
+        self,
+        db: Weaver,
+        max_retries: int = 16,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        sleep: Optional[Callable[[float], None]] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        """``sleep`` and ``rng`` are injectable so tests and simulated
+        deployments stay deterministic: the default sleep is a no-op (the
+        reproduction has no real wall-clock to burn), and the jitter RNG
+        is private rather than the process-global one."""
         self._db = db
         self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._sleep = sleep if sleep is not None else (lambda _delay: None)
+        self._rng = rng if rng is not None else random.Random(0)
 
     @property
     def db(self) -> Weaver:
@@ -44,9 +66,21 @@ class WeaverClient:
         fn: Callable[[Transaction], Any],
         gatekeeper: Optional[int] = None,
     ) -> Any:
-        """Run ``fn(tx)`` and commit, retrying on optimistic aborts."""
+        """Run ``fn(tx)`` and commit, retrying on optimistic aborts.
+
+        Whatever happens — an abort, or any exception out of ``fn`` —
+        the transaction is closed before control leaves the attempt, so
+        no open ``store_tx`` leaks.  Retries back off exponentially with
+        full jitter to decorrelate contending clients.
+        """
         last: Optional[TransactionAborted] = None
-        for _ in range(self._max_retries):
+        for attempt in range(self._max_retries):
+            if attempt:
+                ceiling = min(
+                    self._backoff_cap,
+                    self._backoff_base * (2 ** (attempt - 1)),
+                )
+                self._sleep(self._rng.random() * ceiling)
             tx = self._db.begin_transaction(gatekeeper)
             try:
                 result = fn(tx)
@@ -54,6 +88,9 @@ class WeaverClient:
                 return result
             except TransactionAborted as exc:
                 last = exc
+            finally:
+                if tx.is_open:
+                    tx.abort()
         raise last if last else WeaverError("transact failed")
 
     # -- vertex/edge conveniences ---------------------------------------

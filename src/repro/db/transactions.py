@@ -61,7 +61,8 @@ class Transaction:
 
     def abort(self) -> None:
         self._check_open()
-        self.store_tx.abort()
+        if self.store_tx.is_open:
+            self.store_tx.abort()
         self._state = "aborted"
 
     def __enter__(self) -> "Transaction":

@@ -9,6 +9,13 @@ reproducible.
 from .clock import MSEC, SEC, USEC, SimClock
 from .simulator import Event, Server, Simulator
 from .network import DEFAULT_LATENCY, Network, NetworkStats
+from .faults import (
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    MessageFault,
+    Partition,
+)
 from .deployment import SimulatedWeaver, TauController
 from .workload import SimClients, finite_stream
 
@@ -27,4 +34,9 @@ __all__ = [
     "DEFAULT_LATENCY",
     "Network",
     "NetworkStats",
+    "FaultPlan",
+    "FaultInjector",
+    "MessageFault",
+    "Partition",
+    "CrashSpec",
 ]

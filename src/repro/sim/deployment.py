@@ -41,6 +41,7 @@ from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
 from ..store.kvstore import TransactionalStore
 from ..store.mapping import ShardMapping
 from .clock import USEC
+from .faults import FaultInjector, FaultPlan, GATEKEEPER
 from .network import Network
 from .simulator import Server, Simulator
 
@@ -120,6 +121,7 @@ class SimulatedWeaver:
         adapt_window: float = 2e-3,
         costs=None,
         run_timers_for: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.config = config or WeaverConfig()
         self.tau = tau_controller.tau if tau_controller is not None else tau
@@ -129,7 +131,13 @@ class SimulatedWeaver:
         self.tau_controller = tau_controller
         self.adapt_window = adapt_window
         self.simulator = Simulator()
-        self.network = Network(self.simulator, latency=latency)
+        self.fault_plan = fault_plan
+        injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self.network = Network(
+            self.simulator, latency=latency, fault_injector=injector
+        )
         self.store = TransactionalStore()
         self.mapping = ShardMapping(self.store, self.config.num_shards)
         self.oracle = make_oracle(self.config.oracle_chain_length)
@@ -167,6 +175,11 @@ class SimulatedWeaver:
             self.manager.register_shard(shard)
         self.executor = ProgramExecutor()
         self._seqnos: Dict[Tuple[int, int], int] = {}
+        # Global send rank for shard-bound messages: the oracle tiebreak
+        # for concurrent pairs.  Send order extends store commit order
+        # (forwarding is synchronous with commit), so the preference
+        # stays commit-order-faithful under injected message delays.
+        self._send_rank = itertools.count()
         self._handle_counter = itertools.count()
         self._query_counter = itertools.count(1)
         self._gk_rr = itertools.count()
@@ -184,6 +197,9 @@ class SimulatedWeaver:
         # in earlier epochs must be dropped, not replayed.
         self._min_epoch: Dict[int, int] = {}
         self.recoveries = 0
+        self.stragglers_dropped = 0
+        # Observer re-attached to replacement shards on recovery.
+        self._apply_observer: Optional[Callable] = None
         self._timers_started = False
         self.start_timers()
         if run_timers_for:
@@ -218,6 +234,14 @@ class SimulatedWeaver:
         self.simulator.schedule(
             3 * self.heartbeat_period, self._detector_tick
         )
+        if self.fault_plan is not None:
+            for crash in self.fault_plan.crashes:
+                target = (
+                    self.crash_gatekeeper
+                    if crash.kind == GATEKEEPER
+                    else self.crash_shard
+                )
+                self.simulator.schedule_at(crash.at, target, crash.index)
         if self.tau_controller is not None:
             self._window_base = (0, 0, 0)
             self.simulator.schedule(self.adapt_window, self._adapt_tick)
@@ -241,17 +265,35 @@ class SimulatedWeaver:
         if gk.name in self._crashed:
             return  # dead servers announce nothing; timer lapses
         vector = gk.make_announce()
+        epoch = gk.clock.epoch
         for peer in self.gatekeepers:
             if peer.index == gk_index or peer.name in self._crashed:
                 continue
             self.network.send(
                 gk.name,
                 peer.name,
-                peer.receive_announce,
+                self._deliver_announce,
+                peer.index,
+                epoch,
                 vector,
                 kind="announce",
             )
         self.simulator.schedule(self.tau, self._announce_tick, gk_index)
+
+    def _deliver_announce(self, peer_index: int, epoch: int, vector) -> None:
+        """Fold an announce at its destination, re-fetched by index.
+
+        The receiver may have been replaced while the message was in
+        flight; announces are epoch-tagged so a pre-failover straggler is
+        dropped instead of folded into the replacement's restarted clock
+        (which would corrupt it — epochs restart the counters at zero).
+        """
+        peer = self.gatekeepers[peer_index]
+        if peer.name in self._crashed:
+            return
+        if peer.clock.epoch != epoch:
+            return  # cross-epoch straggler
+        peer.receive_announce(vector)
 
     def _nop_tick(self, gk_index: int) -> None:
         gk = self.gatekeepers[gk_index]
@@ -265,10 +307,18 @@ class SimulatedWeaver:
     def _heartbeat_tick(self, name: str) -> None:
         if name in self._crashed:
             return  # the silence is what the detector listens for
-        self.manager.heartbeat(name, self.simulator.now)
+        self.network.send(
+            name, "manager", self._manager_heartbeat, name,
+            kind="heartbeat",
+        )
         self.simulator.schedule(
             self.heartbeat_period, self._heartbeat_tick, name
         )
+
+    def _manager_heartbeat(self, name: str) -> None:
+        if name in self._crashed:
+            return  # the sender died with this beat in flight
+        self.manager.heartbeat(name, self.simulator.now)
 
     def _detector_tick(self) -> None:
         """The cluster manager's failure detector (section 4.3)."""
@@ -311,7 +361,7 @@ class SimulatedWeaver:
         channel = (gk_index, shard_index)
         seqno = self._seqnos.get(channel, 0)
         self._seqnos[channel] = seqno + 1
-        qtx = QueuedTransaction(ts, operations, seqno)
+        qtx = QueuedTransaction(ts, operations, seqno, next(self._send_rank))
         gk_name = self.gatekeepers[gk_index].name
         shard = self.shards[shard_index]
         self.network.send(
@@ -337,6 +387,7 @@ class SimulatedWeaver:
         else:
             index = int(name[5:])
             replacement = self.manager.recover_shard(index)
+            replacement.on_apply = self._apply_observer
             self.shards[index] = replacement
             self._min_epoch[index] = self.manager.epoch
         # Channel sequence numbers keep counting across the barrier —
@@ -367,12 +418,21 @@ class SimulatedWeaver:
         if shard.name in self._crashed:
             return  # messages to a dead server vanish
         if qtx.ts.epoch < self._min_epoch.get(shard_index, 0):
-            return  # pre-recovery straggler: already in the reloaded state
+            # Pre-recovery straggler: already in the reloaded state.
+            self.stragglers_dropped += 1
+            return
         shard.enqueue(gk_index, qtx)
         shard.apply_available(
             stop_before=self._earliest_pending_program_ts()
         )
         self._check_pending_programs()
+
+    def set_apply_observer(self, observer: Optional[Callable]) -> None:
+        """Install ``observer(shard_index, qtx)`` on every shard, called
+        for each non-NOP transaction applied; survives shard recovery."""
+        self._apply_observer = observer
+        for shard in self.shards:
+            shard.on_apply = observer
 
     def _earliest_pending_program_ts(self) -> Optional[VectorTimestamp]:
         if not self._pending_programs:
@@ -446,6 +506,10 @@ class SimulatedWeaver:
             )
         except TransactionAborted as exc:
             self.aborted += 1
+            # commit_prepared aborts the store tx itself; belt-and-braces
+            # for aborts raised before it was reached.
+            if store_tx.is_open:
+                store_tx.abort()
             if callback is not None:
                 callback(False, exc)
             return
@@ -471,7 +535,7 @@ class SimulatedWeaver:
     ) -> None:
         """Submit a node program; executes once every shard is ready."""
         gk_index = next(self._gk_rr) % len(self.gatekeepers)
-        gk = self.gatekeepers[gk_index]
+        gk_name = self.gatekeepers[gk_index].name
         self._programs_outstanding += 1
         user_callback = callback
 
@@ -481,8 +545,19 @@ class SimulatedWeaver:
                 user_callback(result)
 
         def stamp_and_queue(charged: bool = False) -> None:
+            # Re-fetch by index: the gatekeeper bound at submit time may
+            # have crashed (and been replaced) while this message was in
+            # flight; stamping from the stale object would issue a
+            # dead-epoch timestamp.
+            gk = self.gatekeepers[gk_index]
+            if gk.name in self._crashed:
+                # The request dies with the server (section 4.3); the
+                # completion wrapper must still run or the program leaks
+                # as forever-outstanding.
+                callback(None)
+                return
             if self.costs is not None and not charged:
-                done = self._gk_servers[gk.index].occupy(
+                done = self._gk_servers[gk_index].occupy(
                     self.costs.gatekeeper_service
                 )
                 self.simulator.schedule_at(done, stamp_and_queue, True)
@@ -496,7 +571,7 @@ class SimulatedWeaver:
             self._check_pending_programs()
 
         self.network.send(
-            "client", gk.name, stamp_and_queue, kind="prog-submit"
+            "client", gk_name, stamp_and_queue, kind="prog-submit"
         )
 
     def _restamp_pending_programs(self) -> None:

@@ -21,22 +21,36 @@ DEFAULT_LATENCY = 100 * USEC  # one-way LAN hop, gigabit-era
 
 
 class NetworkStats:
-    """Counters of messages sent, by kind."""
+    """Counters of messages sent, by kind, and of injected faults."""
 
     def __init__(self) -> None:
         self.sent: Dict[str, int] = defaultdict(int)
         self.total = 0
+        # Injected faults by fault kind: drop / duplicate / delay /
+        # partition.  A "drop" on a reliable channel still counts here
+        # even though it is delivered after a retransmit delay.
+        self.faults: Dict[str, int] = defaultdict(int)
 
     def record(self, kind: str) -> None:
         self.sent[kind] += 1
         self.total += 1
 
+    def record_fault(self, fault_kind: str) -> None:
+        self.faults[fault_kind] += 1
+
     def count(self, kind: str) -> int:
         return self.sent.get(kind, 0)
+
+    def fault_count(self, fault_kind: str) -> int:
+        return self.faults.get(fault_kind, 0)
+
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
 
     def reset(self) -> None:
         self.sent.clear()
         self.total = 0
+        self.faults.clear()
 
 
 class Network:
@@ -48,6 +62,7 @@ class Network:
         latency: float = DEFAULT_LATENCY,
         jitter: float = 0.0,
         rng=None,
+        fault_injector=None,
     ):
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be non-negative")
@@ -55,6 +70,9 @@ class Network:
         self.latency = latency
         self.jitter = jitter
         self._rng = rng
+        # Optional chaos layer (sim.faults.FaultInjector): consulted for
+        # every message's fate — extra delay, loss, or duplication.
+        self.fault_injector = fault_injector
         self.stats = NetworkStats()
         # Per-channel monotone delivery horizon and next sequence number.
         self._last_delivery: Dict[Tuple[str, str], float] = {}
@@ -84,13 +102,27 @@ class Network:
         seqno = self._next_seqno[channel]
         self._next_seqno[channel] += 1
         delay = latency if latency is not None else self._sample_latency()
+        copies = 1
+        if self.fault_injector is not None:
+            fate = self.fault_injector.fate(
+                src, dst, kind, self.simulator.now
+            )
+            for fault_kind in fate.faults:
+                self.stats.record_fault(fault_kind)
+            delay += fate.extra_delay
+            copies = fate.copies
+        self.stats.record(kind)
+        if copies <= 0:
+            # Truly lost: the channel's delivery horizon is untouched, so
+            # later messages are not held back by a vanished one.
+            return seqno
         deliver_at = self.simulator.now + delay
         floor = self._last_delivery.get(channel, 0.0)
         if deliver_at < floor:
             deliver_at = floor
         self._last_delivery[channel] = deliver_at
-        self.stats.record(kind)
-        self.simulator.schedule_at(deliver_at, handler, *args)
+        for _ in range(copies):
+            self.simulator.schedule_at(deliver_at, handler, *args)
         return seqno
 
     def broadcast(

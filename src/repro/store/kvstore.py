@@ -52,6 +52,16 @@ class StoreTransaction:
     def write_set(self) -> Set[str]:
         return set(self._writes) | self._deletes
 
+    @property
+    def is_open(self) -> bool:
+        """True until the transaction commits or aborts.
+
+        A commit that raises :class:`TransactionAborted` still closes the
+        transaction, so cleanup paths must check this before calling
+        :meth:`abort` (which raises on a closed transaction).
+        """
+        return not self._done
+
     def _check_open(self) -> None:
         if self._done:
             raise TransactionError("transaction already committed/aborted")

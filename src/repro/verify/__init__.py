@@ -1,0 +1,19 @@
+"""End-to-end consistency verification for chaos runs."""
+
+from .history import (
+    CommittedWrite,
+    History,
+    HistoryChecker,
+    ProgramRead,
+    Violation,
+    decided_order,
+)
+
+__all__ = [
+    "History",
+    "HistoryChecker",
+    "CommittedWrite",
+    "ProgramRead",
+    "Violation",
+    "decided_order",
+]

@@ -1,0 +1,421 @@
+"""History recording and strict-serializability checking.
+
+The paper's headline guarantee (sections 3-4) is that Weaver executions
+are **strictly serializable**: there is one total order over committed
+transactions and node programs that (a) every replica's behaviour is
+consistent with and (b) respects real time.  The refinable-timestamp
+machinery is supposed to deliver this through failures; this module is
+the referee that says whether it actually did.
+
+Approach (after the online timestamp-based checkers of Li et al.,
+arXiv:2504.01477): record, during a run, every committed transaction
+(with its refinable timestamp and its position in backing-store commit
+order), every node-program read (with its execution timestamp and the
+writer tags it observed), and every shard's apply sequence.  Afterwards,
+compare each relevant pair against the *decided* timestamp order — vector
+clocks plus the timeline oracle's irreversible commitments and their
+transitive closure, never minting new decisions — and report the first
+violating pair per check.
+
+The serialization order for writes to one vertex is anchored on the
+backing store's commit order (section 4.2: the store's acyclic
+transactions commit before forwarding, and the oracle's arrival-order
+tiebreak extends that order to the shards).  A pair the oracle never
+decided is reported as consistent: an undecided pair is by construction
+one that no shard and no program ever had to order, so no observer could
+distinguish the two serializations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.vclock import Ordering, VectorTimestamp
+
+#: compare(a, b) -> Ordering or None: the decided order of two stamps.
+DecidedOrder = Callable[
+    [VectorTimestamp, VectorTimestamp], Optional[Ordering]
+]
+
+
+def decided_order(oracle) -> DecidedOrder:
+    """The decided-order relation backed by a timeline oracle.
+
+    Vector clocks answer related pairs; for concurrent pairs the oracle
+    reports only pre-established commitments (``query_order`` never
+    decides), so checking a history perturbs nothing.
+    """
+    head = getattr(oracle, "head", oracle)
+
+    def compare(
+        a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        if a.id == b.id:
+            return None
+        order = a.compare(b)
+        if order is not Ordering.CONCURRENT:
+            return order
+        return head.query_order(a, b)
+
+    return compare
+
+
+@dataclass(frozen=True)
+class CommittedWrite:
+    """One committed transaction, as the client and store saw it."""
+
+    tag: int
+    ts: VectorTimestamp
+    commit_seq: int
+    writes: Tuple[Tuple[str, Any], ...]  # (vertex, value written)
+    submitted_at: float
+    acked_at: float
+
+
+@dataclass(frozen=True)
+class ProgramRead:
+    """One node-program execution and the writer tags it observed."""
+
+    query_id: int
+    ts: VectorTimestamp
+    reads: Tuple[Tuple[str, Any], ...]  # (vertex, observed tag or None)
+    submitted_at: float
+    completed_at: float
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One strict-serializability violation: the first offending pair."""
+
+    kind: str
+    detail: str
+    first: Any
+    second: Any
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+class History:
+    """An append-only record of one run's observable events."""
+
+    def __init__(self) -> None:
+        self.commits: List[CommittedWrite] = []
+        self.reads: List[ProgramRead] = []
+        # Per-shard apply sequences: lists of timestamp ids in the order
+        # the shard applied them (NOPs excluded).
+        self.applies: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._commit_seq = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record_commit(
+        self,
+        tag: int,
+        ts: VectorTimestamp,
+        writes,
+        submitted_at: float,
+        acked_at: float,
+    ) -> int:
+        """Record one committed transaction; returns its commit_seq.
+
+        Callers must invoke this in backing-store commit order — in the
+        simulated deployment, commit callbacks fire synchronously inside
+        the store commit, so ack order *is* commit order.
+        """
+        seq = self._commit_seq
+        self._commit_seq += 1
+        self.commits.append(
+            CommittedWrite(
+                tag, ts, seq, tuple(writes), submitted_at, acked_at
+            )
+        )
+        return seq
+
+    def record_read(
+        self,
+        query_id: int,
+        ts: VectorTimestamp,
+        reads,
+        submitted_at: float,
+        completed_at: float,
+    ) -> None:
+        self.reads.append(
+            ProgramRead(
+                query_id, ts, tuple(reads), submitted_at, completed_at
+            )
+        )
+
+    def record_apply(self, shard_index: int, ts: VectorTimestamp) -> None:
+        self.applies.setdefault(shard_index, []).append(ts.id)
+
+    # -- reproducibility ------------------------------------------------
+
+    def canonical(self) -> Tuple:
+        """A deterministic, value-only rendering of the whole history."""
+        return (
+            tuple(
+                (
+                    "commit",
+                    c.tag,
+                    c.ts.epoch,
+                    c.ts.issuer,
+                    c.ts.clocks,
+                    c.commit_seq,
+                    c.writes,
+                    c.submitted_at,
+                    c.acked_at,
+                )
+                for c in self.commits
+            ),
+            tuple(
+                (
+                    "read",
+                    r.query_id,
+                    r.ts.epoch,
+                    r.ts.issuer,
+                    r.ts.clocks,
+                    r.reads,
+                    r.submitted_at,
+                    r.completed_at,
+                )
+                for r in self.reads
+            ),
+            tuple(
+                (shard, tuple(seq))
+                for shard, seq in sorted(self.applies.items())
+            ),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical rendering; equal digests mean
+        bit-for-bit identical histories (the determinism check)."""
+        return hashlib.sha256(
+            repr(self.canonical()).encode("utf-8")
+        ).hexdigest()
+
+
+class HistoryChecker:
+    """Checks one :class:`History` for strict-serializability violations.
+
+    ``compare`` is the decided-order relation (see :func:`decided_order`).
+    :meth:`check` returns every violation found, first offending pair per
+    (check, pair); an empty list certifies the history.
+    """
+
+    def __init__(self, history: History, compare: DecidedOrder):
+        self.history = history
+        self.compare = compare
+        self._memo: Dict[Tuple, Optional[Ordering]] = {}
+
+    # -- decided order, memoized ---------------------------------------
+
+    def _order(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        key = (a.id, b.id)
+        if key not in self._memo:
+            self._memo[key] = self.compare(a, b)
+        return self._memo[key]
+
+    # -- the checks -----------------------------------------------------
+
+    def check(self) -> List[Violation]:
+        violations: List[Violation] = []
+        violations.extend(self._check_unique_stamps())
+        violations.extend(self._check_commit_order())
+        violations.extend(self._check_apply_order())
+        violations.extend(self._check_reads())
+        violations.extend(self._check_real_time())
+        return violations
+
+    def _writes_by_vertex(self) -> Dict[str, List[CommittedWrite]]:
+        per_vertex: Dict[str, List[CommittedWrite]] = {}
+        for commit in self.history.commits:
+            for vertex, _value in commit.writes:
+                per_vertex.setdefault(vertex, []).append(commit)
+        for chain in per_vertex.values():
+            chain.sort(key=lambda c: c.commit_seq)
+        return per_vertex
+
+    def _check_unique_stamps(self) -> List[Violation]:
+        """Committed timestamps are transaction identities (section 3.3):
+        two commits must never share one."""
+        seen: Dict[Tuple[int, int, int], CommittedWrite] = {}
+        out: List[Violation] = []
+        for commit in self.history.commits:
+            other = seen.get(commit.ts.id)
+            if other is not None:
+                out.append(
+                    Violation(
+                        "duplicate-stamp",
+                        f"transactions {other.tag} and {commit.tag} share "
+                        f"timestamp {commit.ts}",
+                        other,
+                        commit,
+                    )
+                )
+            else:
+                seen[commit.ts.id] = commit
+        return out
+
+    def _check_commit_order(self) -> List[Violation]:
+        """Same-vertex commits: decided timestamp order must agree with
+        backing-store commit order (section 4.2's monotonicity rule)."""
+        out: List[Violation] = []
+        for vertex, chain in sorted(self._writes_by_vertex().items()):
+            for i, earlier in enumerate(chain):
+                for later in chain[i + 1 :]:
+                    if self._order(earlier.ts, later.ts) is Ordering.AFTER:
+                        out.append(
+                            Violation(
+                                "commit-order",
+                                f"writes to {vertex!r}: tx {earlier.tag} "
+                                f"committed before tx {later.tag} but its "
+                                f"timestamp is decided after",
+                                earlier,
+                                later,
+                            )
+                        )
+                        break
+                else:
+                    continue
+                break
+        return out
+
+    def _check_apply_order(self) -> List[Violation]:
+        """Each shard's apply sequence must be a linear extension of the
+        decided order (the Fig 6 loop's whole job)."""
+        by_id = {c.ts.id: c for c in self.history.commits}
+        out: List[Violation] = []
+        for shard, sequence in sorted(self.history.applies.items()):
+            commits = [by_id[i] for i in sequence if i in by_id]
+            stop = False
+            for i, earlier in enumerate(commits):
+                for later in commits[i + 1 :]:
+                    if self._order(earlier.ts, later.ts) is Ordering.AFTER:
+                        out.append(
+                            Violation(
+                                "apply-order",
+                                f"shard {shard} applied tx {earlier.tag} "
+                                f"before tx {later.tag} against the "
+                                f"decided timestamp order",
+                                earlier,
+                                later,
+                            )
+                        )
+                        stop = True
+                        break
+                if stop:
+                    break
+        return out
+
+    def _check_reads(self) -> List[Violation]:
+        """Each program read must land exactly at its timestamp: it sees
+        the newest same-vertex write decided before it, and nothing
+        decided after it."""
+        out: List[Violation] = []
+        per_vertex = self._writes_by_vertex()
+        by_tag: Dict[Any, CommittedWrite] = {}
+        for commit in self.history.commits:
+            by_tag[commit.tag] = commit
+        for read in self.history.reads:
+            for vertex, observed_tag in read.reads:
+                chain = per_vertex.get(vertex, [])
+                observed: Optional[CommittedWrite] = None
+                if observed_tag is not None:
+                    observed = by_tag.get(observed_tag)
+                    if observed is None:
+                        out.append(
+                            Violation(
+                                "phantom-read",
+                                f"program {read.query_id} read tag "
+                                f"{observed_tag!r} on {vertex!r}, which no "
+                                f"committed transaction wrote",
+                                read,
+                                None,
+                            )
+                        )
+                        continue
+                    if self._order(observed.ts, read.ts) is Ordering.AFTER:
+                        out.append(
+                            Violation(
+                                "future-read",
+                                f"program {read.query_id} on {vertex!r} "
+                                f"observed tx {observed.tag}, decided "
+                                f"after the program's timestamp",
+                                read,
+                                observed,
+                            )
+                        )
+                        continue
+                floor = observed.commit_seq if observed is not None else -1
+                for newer in chain:
+                    if newer.commit_seq <= floor:
+                        continue
+                    if self._order(newer.ts, read.ts) is Ordering.BEFORE:
+                        out.append(
+                            Violation(
+                                "stale-read",
+                                f"program {read.query_id} on {vertex!r} "
+                                f"missed tx {newer.tag}, decided before "
+                                f"the program's timestamp",
+                                read,
+                                newer,
+                            )
+                        )
+                        break
+        return out
+
+    def _check_real_time(self) -> List[Violation]:
+        """Strictness on conflicting pairs: an operation acknowledged
+        before another begins must not serialize after it."""
+        out: List[Violation] = []
+        per_vertex = self._writes_by_vertex()
+        # Write acked before a conflicting write was submitted.
+        for vertex, chain in sorted(per_vertex.items()):
+            stop = False
+            for first in chain:
+                for second in chain:
+                    if first.acked_at >= second.submitted_at:
+                        continue
+                    if self._order(first.ts, second.ts) is Ordering.AFTER:
+                        out.append(
+                            Violation(
+                                "real-time-write",
+                                f"tx {first.tag} on {vertex!r} was acked "
+                                f"before tx {second.tag} was submitted, "
+                                f"yet is decided after it",
+                                first,
+                                second,
+                            )
+                        )
+                        stop = True
+                        break
+                if stop:
+                    break
+        # Write acked before a read was submitted: the read must see the
+        # write's effects (its observed state must not be older).
+        by_tag = {c.tag: c for c in self.history.commits}
+        for read in self.history.reads:
+            for vertex, observed_tag in read.reads:
+                observed = by_tag.get(observed_tag)
+                floor = observed.commit_seq if observed is not None else -1
+                for write in per_vertex.get(vertex, []):
+                    if write.acked_at >= read.submitted_at:
+                        continue
+                    if write.commit_seq > floor:
+                        out.append(
+                            Violation(
+                                "real-time-read",
+                                f"program {read.query_id} on {vertex!r} "
+                                f"missed tx {write.tag}, acked before the "
+                                f"program was submitted",
+                                read,
+                                write,
+                            )
+                        )
+                        break
+        return out

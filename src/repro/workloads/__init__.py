@@ -20,6 +20,7 @@ from .bitcoin import (
 from .bitcoin import load_into_weaver as load_blockchain_into_weaver
 from .runner import RunReport, run_tao
 from .contention import ContentionReport, ZipfSampler, run_contention
+from .chaos import ChaosReport, default_fault_plan, run_chaos
 
 __all__ = [
     "adjacency",
@@ -43,4 +44,7 @@ __all__ = [
     "ContentionReport",
     "ZipfSampler",
     "run_contention",
+    "ChaosReport",
+    "default_fault_plan",
+    "run_chaos",
 ]

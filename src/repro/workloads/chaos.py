@@ -1,0 +1,247 @@
+"""Seeded chaos runs: contended writes plus reads under injected faults.
+
+One :func:`run_chaos` call builds a :class:`SimulatedWeaver` with a
+:class:`~repro.sim.faults.FaultPlan` (message drops, duplicates, delays,
+a partition, and at least one gatekeeper crash and one shard crash),
+drives a Zipf-contended write/read mix against it, records everything
+observable into a :class:`~repro.verify.history.History`, and checks the
+history for strict-serializability violations.
+
+Everything is derived from the single ``seed``: the fault schedule, the
+Zipf targets, the submission times.  Two runs with the same seed produce
+bit-for-bit identical histories (compare :meth:`History.digest`), which
+is what makes a chaos failure reproducible and a determinism regression
+detectable.
+
+Writes tag each touched vertex with the writing transaction's unique
+integer tag (property ``"w"``); reads are ``GetNode`` programs whose
+observed tag identifies the newest write their snapshot contained.  That
+one property is enough for the checker to reconstruct per-vertex write
+chains and read positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..db.config import WeaverConfig
+from ..db.operations import CreateVertex, SetVertexProperty
+from ..programs.library import GetNode
+from ..sim.clock import MSEC, USEC
+from ..sim.deployment import SimulatedWeaver
+from ..sim.faults import FaultPlan
+from ..verify.history import History, HistoryChecker, Violation, decided_order
+from .contention import ZipfSampler
+
+
+def default_fault_plan(
+    seed: int,
+    duration: float,
+    num_gatekeepers: int,
+    num_shards: int,
+    drop_rate: float = 0.05,
+    duplicate_rate: float = 0.05,
+    delay_rate: float = 0.1,
+    extra_delay: float = 300 * USEC,
+) -> FaultPlan:
+    """The standard chaos mix for a run of ``duration`` seconds.
+
+    Crashes one gatekeeper at ~35% of the horizon and one shard at ~60%
+    (seed-selected indices), partitions one gatekeeper-shard pair for a
+    stretch of the first half, and sprinkles probabilistic drops,
+    duplicates, and delays over all message kinds.
+    """
+    gk_victim = seed % num_gatekeepers
+    shard_victim = seed % num_shards
+    part_gk = (seed + 1) % num_gatekeepers
+    part_shard = (seed + 1) % num_shards
+    plan = (
+        FaultPlan(seed=seed)
+        .drop(drop_rate)
+        .duplicate(duplicate_rate)
+        .delay(delay_rate, extra_delay=extra_delay)
+        .partition(
+            f"gk{part_gk}",
+            f"shard{part_shard}",
+            start=0.15 * duration,
+            end=0.30 * duration,
+        )
+        .crash_gatekeeper(gk_victim, at=0.35 * duration)
+        .crash_shard(shard_victim, at=0.60 * duration)
+    )
+    return plan
+
+
+@dataclass
+class ChaosReport:
+    """Everything one seeded chaos run produced."""
+
+    seed: int
+    duration: float
+    committed: int = 0
+    aborted: int = 0
+    reads_completed: int = 0
+    reads_lost: int = 0
+    recoveries: int = 0
+    stragglers_dropped: int = 0
+    duplicates_discarded: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+    history: Optional[History] = None
+    violations: List[Violation] = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+def run_chaos(
+    seed: int,
+    duration: float = 60 * MSEC,
+    num_vertices: int = 12,
+    skew: float = 0.8,
+    tx_period: float = 800 * USEC,
+    read_period: float = 1900 * USEC,
+    config: Optional[WeaverConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    heartbeat_period: float = 2 * MSEC,
+    drain: float = 80 * MSEC,
+    tau: float = 100 * USEC,
+    nop_period: float = 100 * USEC,
+) -> ChaosReport:
+    """One seeded chaos run; returns the checked :class:`ChaosReport`.
+
+    Phases: *setup* (create and tag every vertex, no faults are usually
+    scheduled that early), *chaos* (writers and readers on Zipf-sampled
+    targets for ``duration`` simulated seconds, while the plan's crashes,
+    partition, and message faults play out), *drain* (let partitions
+    heal, recoveries finish, and every outstanding read complete).
+    """
+    config = config or WeaverConfig()
+    if plan is None:
+        plan = default_fault_plan(
+            seed, duration, config.num_gatekeepers, config.num_shards
+        )
+    sim = SimulatedWeaver(
+        config=config,
+        tau=tau,
+        # A coarser NOP cadence than the production default keeps the
+        # oracle's event DAG small enough that reachability queries (both
+        # the scheduler's and the checker's) stay cheap over a whole run.
+        nop_period=nop_period,
+        heartbeat_period=heartbeat_period,
+        # One GC pass well after the horizon: mid-run collection would
+        # only shrink what the checker can decide, not break it, but
+        # keeping decisions makes the check as strong as possible.
+        gc_period=10 * duration + drain,
+        fault_plan=plan,
+    )
+    history = History()
+    sim.set_apply_observer(
+        lambda shard_index, qtx: history.record_apply(shard_index, qtx.ts)
+    )
+    report = ChaosReport(seed=seed, duration=duration)
+
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    sampler = ZipfSampler(num_vertices, skew, seed=seed)
+    tags = iter(range(10**9))
+
+    def submit_write(targets: List[str]) -> None:
+        tag = next(tags)
+        submitted_at = sim.simulator.now
+        ops = [SetVertexProperty(v, "w", tag) for v in targets]
+
+        def on_commit(ok: bool, ts_or_exc) -> None:
+            if ok:
+                history.record_commit(
+                    tag,
+                    ts_or_exc,
+                    [(v, tag) for v in targets],
+                    submitted_at,
+                    sim.simulator.now,
+                )
+            else:
+                report.aborted += 1
+
+        sim.submit_transaction(ops, callback=on_commit)
+
+    def submit_read(target: str) -> None:
+        query_id = next(tags)
+        submitted_at = sim.simulator.now
+
+        def on_result(result) -> None:
+            if result is None:
+                report.reads_lost += 1
+                return
+            observed = None
+            if result.results:
+                observed = result.results[0]["properties"].get("w")
+            history.record_read(
+                query_id,
+                result.timestamp,
+                [(target, observed)],
+                submitted_at,
+                sim.simulator.now,
+            )
+            report.reads_completed += 1
+
+        sim.submit_program(GetNode(), target, callback=on_result)
+
+    # -- setup: create every vertex with an initial tag ------------------
+
+    for vertex in vertices:
+        tag = next(tags)
+        submitted_at = sim.simulator.now
+
+        def on_setup(ok, ts_or_exc, tag=tag, vertex=vertex,
+                     submitted_at=submitted_at) -> None:
+            if ok:
+                history.record_commit(
+                    tag, ts_or_exc, [(vertex, tag)],
+                    submitted_at, sim.simulator.now,
+                )
+
+        sim.submit_transaction(
+            [CreateVertex(vertex), SetVertexProperty(vertex, "w", tag)],
+            callback=on_setup,
+            new_vertices=(vertex,),
+        )
+        sim.run(100 * USEC)
+    sim.run(2 * MSEC)  # let setup forwards land everywhere
+
+    # -- chaos: interleaved writers and readers --------------------------
+
+    horizon = sim.simulator.now + duration
+    next_tx = sim.simulator.now + tx_period
+    next_read = sim.simulator.now + read_period
+    while min(next_tx, next_read) < horizon:
+        if next_tx <= next_read:
+            sim.run(next_tx - sim.simulator.now)
+            first = vertices[sampler.sample()]
+            second = vertices[sampler.sample()]
+            targets = [first] if first == second else [first, second]
+            submit_write(targets)
+            next_tx += tx_period
+        else:
+            sim.run(next_read - sim.simulator.now)
+            submit_read(vertices[sampler.sample()])
+            next_read += read_period
+
+    # -- drain: heal, recover, complete ----------------------------------
+
+    sim.run(duration * 0.5)
+    sim.run_until_quiet(max_extra=drain)
+
+    report.committed = len(history.commits)
+    report.recoveries = sim.recoveries
+    report.stragglers_dropped = sim.stragglers_dropped
+    report.duplicates_discarded = sum(
+        shard.stats.duplicates_discarded for shard in sim.shards
+    )
+    report.faults = dict(sim.network.stats.faults)
+    report.history = history
+    report.digest = history.digest()
+    checker = HistoryChecker(history, decided_order(sim.oracle))
+    report.violations = checker.check()
+    return report

@@ -49,6 +49,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "oracle/query" in out
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 1
+        assert args.duration == 60
+        assert args.vertices == 12
+
+    def test_chaos_run(self, capsys):
+        assert main(["chaos", "--seed", "2", "--duration", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "recoveries" in out
+        assert "history digest" in out
+        assert "strict serializability: OK" in out
+
     def test_simulate(self, capsys):
         assert main(["simulate", "--writes", "10"]) == 0
         out = capsys.readouterr().out

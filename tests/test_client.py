@@ -1,5 +1,7 @@
 """The client API: helpers and retry behaviour."""
 
+import random
+
 import pytest
 
 from repro.db import Weaver, WeaverClient, WeaverConfig
@@ -155,6 +157,110 @@ class TestTransactRetry:
 
         with pytest.raises(TransactionAborted):
             client.transact(always_racy)
+
+    def test_unexpected_exception_aborts_open_tx(self, client):
+        # fn blowing up mid-transaction must not leak an open store_tx:
+        # the finally clause aborts it before the exception propagates.
+        client.create_vertex("a")
+        held = {}
+
+        def boom(tx):
+            held["tx"] = tx
+            tx.set_property("a", "k", 1)
+            raise RuntimeError("application bug")
+
+        with pytest.raises(RuntimeError):
+            client.transact(boom)
+        assert not held["tx"].is_open
+        # Nothing leaked: the half-done write is invisible and the store
+        # accepts fresh transactions on the same keys.
+        assert "k" not in client.get_node("a")["properties"]
+        client.set_property("a", "k", 2)
+        assert client.get_node("a")["properties"]["k"] == 2
+
+    def test_tx_closed_after_every_retry(self, db):
+        opened = []
+        client = WeaverClient(db, max_retries=3)
+        client.create_vertex("a")
+
+        def always_racy(tx):
+            opened.append(tx)
+            tx.set_property("a", "k", 1)
+            other = db.begin_transaction()
+            other.set_property("a", "k", 0)
+            other.commit()
+
+        with pytest.raises(TransactionAborted):
+            client.transact(always_racy)
+        assert len(opened) == 3
+        assert all(not tx.is_open for tx in opened)
+
+
+class TestRetryBackoff:
+    def make_client(self, db, **kw):
+        sleeps = []
+        client = WeaverClient(db, sleep=sleeps.append, **kw)
+        return client, sleeps
+
+    def racy_fn(self, db, succeed_on=None):
+        attempts = []
+
+        def fn(tx):
+            attempts.append(1)
+            tx.set_property("a", "k", len(attempts))
+            if succeed_on is None or len(attempts) < succeed_on:
+                other = db.begin_transaction()
+                other.set_property("a", "k", 0)
+                other.commit()
+
+        return fn
+
+    def test_no_backoff_before_first_attempt(self, db):
+        client, sleeps = self.make_client(db)
+        client.create_vertex("a")
+        assert sleeps == []  # create_vertex committed on attempt one
+
+    def test_backoff_jittered_exponential_and_capped(self, db):
+        base, cap, seed = 1e-3, 4e-3, 7
+        client, sleeps = self.make_client(
+            db,
+            max_retries=6,
+            backoff_base=base,
+            backoff_cap=cap,
+            rng=random.Random(seed),
+        )
+        client.create_vertex("a")
+        with pytest.raises(TransactionAborted):
+            client.transact(self.racy_fn(db))
+        # One sleep per retry (none before the first attempt), each drawn
+        # as jitter * min(cap, base * 2^(attempt-1)).
+        rng = random.Random(seed)
+        expected = [
+            rng.random() * min(cap, base * (2 ** (attempt - 1)))
+            for attempt in range(1, 6)
+        ]
+        assert sleeps == pytest.approx(expected)
+        assert all(s <= cap for s in sleeps)
+
+    def test_backoff_deterministic_under_injected_rng(self, db):
+        def run():
+            local = Weaver(WeaverConfig(num_gatekeepers=2, num_shards=2))
+            client, sleeps = self.make_client(
+                local, max_retries=5, rng=random.Random(42)
+            )
+            client.create_vertex("a")
+            with pytest.raises(TransactionAborted):
+                client.transact(self.racy_fn(local))
+            return sleeps
+
+        assert run() == run()
+
+    def test_success_after_retries_stops_backing_off(self, db):
+        client, sleeps = self.make_client(db, rng=random.Random(3))
+        client.create_vertex("a")
+        client.transact(self.racy_fn(db, succeed_on=3))
+        assert len(sleeps) == 2  # retries 2 and 3 only
+        assert client.get_node("a")["properties"]["k"] == 3
 
 
 class TestRenderBlock:

@@ -1,0 +1,191 @@
+"""The fault-injection layer: plans, fates, and network integration."""
+
+import pytest
+
+from repro.cluster.messages import QueuedTransaction
+from repro.cluster.shard import ShardServer
+from repro.core.gatekeeper import Gatekeeper
+from repro.core.oracle import TimelineOracle
+from repro.sim.clock import MSEC, USEC
+from repro.sim.faults import (
+    DEFAULT_RETRANSMIT_DELAY,
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    MessageFault,
+    Partition,
+)
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+class TestValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            MessageFault("explode")
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError):
+            MessageFault("drop", rate=rate)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            MessageFault("delay", extra_delay=-1.0)
+
+    def test_partition_must_end_after_start(self):
+        with pytest.raises(ValueError):
+            Partition("a", "b", start=2.0, end=1.0)
+
+    def test_crash_spec_kind_checked(self):
+        with pytest.raises(ValueError):
+            CrashSpec("coordinator", 0, 1.0)
+
+
+class TestMatching:
+    def test_time_window(self):
+        rule = MessageFault("drop", start=1.0, end=2.0)
+        assert not rule.matches("a", "b", "tx", 0.5)
+        assert rule.matches("a", "b", "tx", 1.0)
+        assert not rule.matches("a", "b", "tx", 2.0)
+
+    def test_kind_and_endpoint_filters(self):
+        rule = MessageFault(
+            "drop", kinds=frozenset({"tx"}), src="gk0", dst="shard1"
+        )
+        assert rule.matches("gk0", "shard1", "tx", 0.0)
+        assert not rule.matches("gk0", "shard1", "nop", 0.0)
+        assert not rule.matches("gk1", "shard1", "tx", 0.0)
+        assert not rule.matches("gk0", "shard0", "tx", 0.0)
+
+    def test_per_channel_predicate(self):
+        rule = MessageFault(
+            "drop", predicate=lambda src, dst, kind, now: src == dst
+        )
+        assert rule.matches("x", "x", "tx", 0.0)
+        assert not rule.matches("x", "y", "tx", 0.0)
+
+
+class TestFate:
+    def test_drop_on_sequenced_kind_becomes_retransmit_delay(self):
+        inj = FaultInjector(FaultPlan().drop())
+        fate = inj.fate("gk0", "shard0", "tx", 0.0)
+        assert fate.copies == 1
+        assert fate.extra_delay == DEFAULT_RETRANSMIT_DELAY
+        assert fate.faults == ("drop",)
+
+    def test_drop_on_lossy_kind_truly_drops(self):
+        inj = FaultInjector(FaultPlan().drop())
+        fate = inj.fate("gk0", "gk1", "announce", 0.0)
+        assert fate.copies == 0
+        assert fate.extra_delay == 0.0
+
+    def test_duplicate_delivers_two_copies(self):
+        inj = FaultInjector(FaultPlan().duplicate())
+        assert inj.fate("gk0", "shard0", "tx", 0.0).copies == 2
+
+    def test_dropped_lossy_message_cannot_be_duplicated(self):
+        inj = FaultInjector(FaultPlan().drop().duplicate())
+        assert inj.fate("gk0", "gk1", "heartbeat", 0.0).copies == 0
+
+    def test_delay_adds_extra_latency(self):
+        inj = FaultInjector(FaultPlan().delay(extra_delay=3.0))
+        assert inj.fate("a", "b", "tx", 0.0).extra_delay == 3.0
+
+    def test_partition_holds_reliable_kind_until_heal(self):
+        plan = FaultPlan(retransmit_delay=0.5).partition(
+            "gk0", "shard0", start=1.0, end=2.0
+        )
+        inj = FaultInjector(plan)
+        fate = inj.fate("gk0", "shard0", "tx", 1.25)
+        assert fate.copies == 1
+        # Held until the partition ends, plus one retransmission.
+        assert fate.extra_delay == pytest.approx((2.0 - 1.25) + 0.5)
+        # The partition is bidirectional.
+        assert inj.fate("shard0", "gk0", "tx", 1.25).copies == 1
+        # Outside the window, nothing happens.
+        assert inj.fate("gk0", "shard0", "tx", 2.5).faults == ()
+
+    def test_partition_loses_lossy_kind(self):
+        plan = FaultPlan().partition("gk0", "gk1", start=0.0, end=1.0)
+        fate = FaultInjector(plan).fate("gk0", "gk1", "announce", 0.5)
+        assert fate.copies == 0
+
+    def test_clean_message_untouched(self):
+        inj = FaultInjector(FaultPlan().drop(kinds=frozenset({"tx"})))
+        fate = inj.fate("a", "b", "nop", 0.0)
+        assert fate.copies == 1
+        assert fate.extra_delay == 0.0
+        assert fate.faults == ()
+
+    def test_same_plan_same_sequence_same_fates(self):
+        def plan():
+            return FaultPlan(seed=9).drop(0.3).duplicate(0.4).delay(0.5)
+
+        msgs = [("gk0", f"shard{i % 3}", "tx", i * 0.001) for i in range(200)]
+        a = FaultInjector(plan())
+        b = FaultInjector(plan())
+        for msg in msgs:
+            assert a.fate(*msg) == b.fate(*msg)
+
+
+class TestNetworkIntegration:
+    def run_network(self, plan):
+        sim = Simulator()
+        net = Network(sim, latency=100 * USEC,
+                      fault_injector=FaultInjector(plan))
+        return sim, net
+
+    def test_lossy_drop_never_delivers_and_is_counted(self):
+        sim, net = self.run_network(FaultPlan().drop())
+        got = []
+        net.send("gk0", "gk1", got.append, 1, kind="announce")
+        sim.run(10 * MSEC)
+        assert got == []
+        assert net.stats.fault_count("drop") == 1
+        assert net.stats.count("announce") == 1  # still counted as sent
+
+    def test_duplicate_delivers_twice(self):
+        sim, net = self.run_network(FaultPlan().duplicate())
+        got = []
+        net.send("gk0", "shard0", got.append, 1, kind="tx")
+        sim.run(10 * MSEC)
+        assert got == [1, 1]
+        assert net.stats.fault_count("duplicate") == 1
+
+    def test_delayed_message_does_not_break_channel_fifo(self):
+        plan = FaultPlan().delay(
+            extra_delay=5 * MSEC, predicate=lambda s, d, k, n: n == 0.0
+        )
+        sim, net = self.run_network(plan)
+        got = []
+        net.send("gk0", "shard0", got.append, "first", kind="tx")
+        sim.run(1 * MSEC)
+        net.send("gk0", "shard0", got.append, "second", kind="tx")
+        sim.run(20 * MSEC)
+        # The delayed first message still arrives first: the channel
+        # delivery horizon holds the second one back (TCP-style FIFO).
+        assert got == ["first", "second"]
+
+    def test_partitioned_reliable_message_arrives_after_heal(self):
+        plan = FaultPlan().partition("gk0", "shard0", start=0.0, end=4 * MSEC)
+        sim, net = self.run_network(plan)
+        got = []
+        net.send("gk0", "shard0", lambda: got.append(sim.now), kind="tx")
+        sim.run(2 * MSEC)
+        assert got == []  # still partitioned
+        sim.run(20 * MSEC)
+        assert len(got) == 1
+        assert got[0] >= 4 * MSEC
+        assert net.stats.fault_count("partition") == 1
+
+
+class TestShardDeduplication:
+    def test_duplicate_seqno_discarded(self):
+        gk = Gatekeeper(0, 1)
+        shard = ShardServer(0, 1, TimelineOracle())
+        qtx = QueuedTransaction(gk.issue_timestamp(), (), 0, 0)
+        shard.enqueue(0, qtx)
+        shard.enqueue(0, qtx)  # transport-level redelivery
+        assert shard.stats.duplicates_discarded == 1
+        assert shard.queue_depths() == [1]

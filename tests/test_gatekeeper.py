@@ -109,6 +109,34 @@ class TestCommit:
         with pytest.raises(RuntimeError):
             gk.commit(lambda tx, t: None, [])
 
+    def test_generic_failure_counts_abort_and_releases_tx(self):
+        # Any exception out of the commit path — not just an optimistic
+        # abort — must count as an abort and close the store tx.
+        gk, store = self.make_gk()
+
+        def boom(tx, t):
+            tx.put("k", 1)
+            raise ValueError("mutation bug")
+
+        with pytest.raises(ValueError):
+            gk.commit(boom, ["v1"])
+        assert gk.stats.aborts == 1
+        assert store.get("k") is None
+        # The store is fully released: a retry commits cleanly.
+        gk.commit(lambda tx, t: tx.put("k", 2), ["v1"])
+        assert store.get("k") == 2
+
+    def test_commit_prepared_failure_releases_prepared_tx(self):
+        gk, store = self.make_gk()
+        store.transact(lambda t: t.put("__lastup__:v1", _stamp([99, 99])))
+        tx = store.begin()
+        tx.put("k", 1)
+        with pytest.raises(TransactionAborted):
+            gk.commit_prepared(tx, ["v1"])
+        assert gk.stats.aborts == 1
+        assert not tx.is_open
+        assert store.get("k") is None
+
 
 class TestEpochs:
     def test_advance_epoch_restarts_clock(self):
