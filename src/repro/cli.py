@@ -128,6 +128,12 @@ def _cmd_stats(args) -> int:
     for start, _ in edges[:: max(1, len(edges) // 8)]:
         client.traverse(start)
 
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(db.metrics.snapshot(), indent=2, sort_keys=True))
+        return 0
+
     ordering = db.ordering_stats()
     resolved = sum(ordering.values()) or 1
     fastpath = db.fastpath_stats()
@@ -221,6 +227,53 @@ def _cmd_chaos(args) -> int:
         return 1
     print("strict serializability: OK "
           "(re-run with the same --seed for the identical history)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Deterministically re-create a chaos run and print one trace.
+
+    Chaos runs are bit-for-bit reproducible from the seed, so the span
+    stream of any past run can be regenerated on demand — no trace
+    storage needed.  Without a trace id, ``--list`` shows what's in the
+    ring buffer.
+    """
+    from .obs import assemble_chain
+    from .sim.clock import MSEC
+    from .workloads.chaos import run_chaos
+
+    report = run_chaos(seed=args.seed, duration=args.duration * MSEC)
+    tracer = report.tracer
+    if args.list or args.trace_id is None:
+        ids = tracer.trace_ids()
+        if args.kind:
+            # Filter on the assembled chain, not the raw spans, so kinds
+            # joined in by id-matching (oracle.decide) are findable too.
+            ids = [
+                tid for tid in ids
+                if any(
+                    s.kind == args.kind
+                    for s in assemble_chain(tracer, tid)
+                )
+            ]
+        print(f"# seed={args.seed} traces buffered: {len(ids)}")
+        for tid in ids:
+            kinds = [s.kind for s in tracer.spans(trace_id=tid)]
+            print(f"  {tid}: {' -> '.join(kinds)}")
+        return 0
+    chain = assemble_chain(tracer, args.trace_id)
+    if not chain:
+        print(f"trace {args.trace_id} not found (try --list)")
+        return 1
+    print(f"# trace {args.trace_id} (seed={args.seed}): {len(chain)} spans")
+    for span in chain:
+        attrs = ", ".join(
+            f"{k}={v}" for k, v in span.attrs if k not in ("writes", "reads")
+        )
+        print(
+            f"  t={span.at * 1000:9.4f}ms  {span.kind:<18} "
+            f"{span.node:<8} {attrs}"
+        )
     return 0
 
 
@@ -352,7 +405,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--vertices", type=int, default=150)
     stats.add_argument("--announce", type=int, default=40)
     stats.add_argument("--seed", type=int, default=42)
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the full metrics-registry snapshot as JSON",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="re-run a seeded chaos run and print one trace's span chain",
+    )
+    trace.add_argument("trace_id", type=int, nargs="?", default=None,
+                       help="trace id to reconstruct (omit with --list)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--duration", type=float, default=20,
+                       help="chaos-phase horizon in milliseconds")
+    trace.add_argument("--list", action="store_true",
+                       help="list buffered trace ids instead")
+    trace.add_argument("--kind", default=None,
+                       help="with --list, only traces containing this "
+                            "span kind")
+    trace.set_defaults(func=_cmd_trace)
 
     chaos = sub.add_parser(
         "chaos",

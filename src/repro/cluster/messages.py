@@ -28,12 +28,17 @@ class QueuedTransaction:
     preference stays commit-order-faithful even when network faults
     deliver channels at different speeds.  When absent, receivers fall
     back to local arrival order (equivalent on uniform channels).
+
+    ``trace_id`` is the client-assigned observability id (``repro.obs``)
+    carried along so shard-side spans attribute to the right trace; it
+    is None for NOPs and for callers that do not trace.
     """
 
     ts: VectorTimestamp
     operations: Tuple[Operation, ...] = ()
     seqno: Optional[int] = None
     tiebreak: Optional[int] = None
+    trace_id: Optional[int] = None
 
     @property
     def is_nop(self) -> bool:

@@ -22,6 +22,7 @@ Fig 6).  The mechanics:
 from __future__ import annotations
 
 import heapq
+from dataclasses import replace
 from typing import Callable, List, Optional, Tuple
 
 from ..core.ordering import EarliestScheduler, RefinableOrdering
@@ -43,6 +44,12 @@ class ShardStats:
         self.duplicates_discarded = 0
         self.pages_in = 0
         self.pages_out = 0
+        # Transactions that arrived without a sender-assigned tiebreak
+        # rank and were assigned one from this shard's local arrival
+        # order.  Nonzero outside hand-built test rigs means a sender
+        # forgot to rank, so cross-channel delivery skew can reorder
+        # concurrent pairs — worth seeing in `repro stats`.
+        self.local_tiebreaks = 0
 
     def reset(self) -> None:
         self.__init__()
@@ -70,14 +77,15 @@ class ShardServer:
         # that bracket path is re-compared (Fig 6 loop, log G per pop).
         self._scheduler = EarliestScheduler(self.ordering, num_gatekeepers)
         self._expected_seqno = [0] * num_gatekeepers
-        # Arrival order at this shard: the tiebreak the timeline oracle
-        # prefers for concurrent transactions (section 3.4).  Because the
-        # backing store commits before forwarding, arrival order extends
-        # backing-store commit order, giving the section 4.2 guarantee
-        # that same-vertex commits execute in commit order everywhere.
-        self._arrival: dict = {}
-        self._arrival_counter = 0
+        # Fallback tiebreak rank for transactions whose sender assigned
+        # none (hand-built rigs; every deployment sender ranks in send
+        # order, which extends backing-store commit order — section 4.2).
+        # Assignments are counted in ShardStats.local_tiebreaks.
+        self._local_rank = 0
         self._epoch = 0
+        # Optional repro.obs.Tracer: traced transactions emit
+        # shard.enqueue / shard.apply spans as they move through.
+        self.tracer = None
         # Demand paging (section 6.1): a loader that materializes an
         # evicted vertex's committed state from the backing store.
         self._pager: Optional[Callable[[str], Optional[dict]]] = None
@@ -138,15 +146,20 @@ class ShardServer:
                 )
             else:
                 self._expected_seqno[gk_index] += 1
-        if qtx.ts.id not in self._arrival:
-            if qtx.tiebreak is not None:
-                # Sender-assigned rank: extends backing-store commit
-                # order, immune to cross-channel delivery skew.
-                self._arrival[qtx.ts.id] = qtx.tiebreak
-            else:
-                self._arrival[qtx.ts.id] = self._arrival_counter
-                self._arrival_counter += 1
+        if qtx.tiebreak is None:
+            # No sender-assigned rank: fall back to local arrival order
+            # (equivalent to the sender's rank on uniform channels, but
+            # vulnerable to cross-channel delivery skew — counted so it
+            # is visible when it happens).
+            qtx = replace(qtx, tiebreak=self._local_rank)
+            self._local_rank += 1
+            self.stats.local_tiebreaks += 1
         heapq.heappush(self._queues[gk_index], (qtx.queue_key, qtx))
+        if self.tracer is not None and qtx.trace_id is not None:
+            self.tracer.emit(
+                qtx.trace_id, "shard.enqueue", node=self.name,
+                ts=qtx.ts, gk=gk_index, seqno=qtx.seqno, shard=self.index,
+            )
 
     def queue_depths(self) -> List[int]:
         return [len(q) for q in self._queues]
@@ -184,10 +197,7 @@ class ShardServer:
             if heads is None:
                 break
             earliest = self._scheduler.select(
-                [
-                    (h.ts, self._arrival.get(h.ts.id, 0))
-                    for h in heads
-                ]
+                [(h.ts, h.tiebreak) for h in heads]
             )
             qtx = heads[earliest]
             if stop_before is not None:
@@ -201,7 +211,6 @@ class ShardServer:
                 ):
                     break
             heapq.heappop(self._queues[earliest])
-            self._arrival.pop(qtx.ts.id, None)
             self._apply(qtx)
             applied += 1
             if on_apply is not None:
@@ -218,6 +227,11 @@ class ShardServer:
             else:
                 op.apply_graph(self.graph, qtx.ts)
         self.stats.transactions_applied += 1
+        if self.tracer is not None and qtx.trace_id is not None:
+            self.tracer.emit(
+                qtx.trace_id, "shard.apply", node=self.name,
+                ts=qtx.ts, shard=self.index,
+            )
         if self.on_apply is not None:
             self.on_apply(self.index, qtx)
 
@@ -280,15 +294,13 @@ class ShardServer:
         while True:
             earliest = self._scheduler.select(
                 [
-                    (q[0][1].ts, self._arrival.get(q[0][1].ts.id, 0))
-                    if q else None
+                    (q[0][1].ts, q[0][1].tiebreak) if q else None
                     for q in self._queues
                 ]
             )
             if earliest is None:
                 break
             _, qtx = heapq.heappop(self._queues[earliest])
-            self._arrival.pop(qtx.ts.id, None)
             self._apply(qtx)
             applied += 1
         return applied

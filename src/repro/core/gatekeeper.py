@@ -58,6 +58,13 @@ class Gatekeeper:
         self.clock = VectorClock(num_gatekeepers, index, epoch)
         self.store = store
         self.stats = GatekeeperStats()
+        # Optional repro.obs.Tracer: traced commits emit
+        # gatekeeper.stamp / store.commit / gatekeeper.abort spans.
+        self.tracer = None
+
+    def _emit(self, trace_id, kind: str, **attrs) -> None:
+        if self.tracer is not None and trace_id is not None:
+            self.tracer.emit(trace_id, kind, node=self.name, **attrs)
 
     @property
     def name(self) -> str:
@@ -101,6 +108,7 @@ class Gatekeeper:
         apply_writes: Callable[[StoreTransaction, VectorTimestamp], None],
         touched_vertices: Iterable[str],
         timestamp: Optional[VectorTimestamp] = None,
+        trace_id: Optional[int] = None,
     ) -> VectorTimestamp:
         """Execute a transaction on the backing store.
 
@@ -116,6 +124,7 @@ class Gatekeeper:
         if self.store is None:
             raise RuntimeError("gatekeeper has no backing store attached")
         ts = timestamp if timestamp is not None else self.issue_timestamp()
+        self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
         touched = list(touched_vertices)
         tx = self.store.begin()
         try:
@@ -137,14 +146,17 @@ class Gatekeeper:
             self.stats.aborts += 1
             if tx.is_open:
                 tx.abort()
+            self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
             raise
         self.stats.commits += 1
+        self._emit(trace_id, "store.commit", ts=ts, gk=self.index)
         return ts
 
     def commit_prepared(
         self,
         store_tx: StoreTransaction,
         touched_vertices: Iterable[str],
+        trace_id: Optional[int] = None,
     ) -> VectorTimestamp:
         """Commit an already-populated store transaction.
 
@@ -156,6 +168,7 @@ class Gatekeeper:
         the new last-update stamps, and commits.
         """
         ts = self.issue_timestamp()
+        self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
         touched = list(touched_vertices)
         try:
             for vertex in touched:
@@ -171,8 +184,10 @@ class Gatekeeper:
             self.stats.aborts += 1
             if store_tx.is_open:
                 store_tx.abort()
+            self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
             raise
         self.stats.commits += 1
+        self._emit(trace_id, "store.commit", ts=ts, gk=self.index)
         return ts
 
     # -- failover (section 4.3) -----------------------------------------

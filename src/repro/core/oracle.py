@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import CycleError, OrderingError
@@ -34,7 +35,14 @@ EventId = Tuple[int, int, int]
 
 
 class OracleStats:
-    """Message, decision, and fast-path counters (Fig 14 reports these)."""
+    """Message, decision, and fast-path counters (Fig 14 reports these).
+
+    One client request increments exactly one of ``queries`` /
+    ``decisions`` / ``events_created``, so ``messages`` equals the
+    client-visible request count — the quantity Fig 14 plots and the
+    τ controller feeds on.  (An ``order`` request that finds the pair
+    already established counts as a query, not a decision.)
+    """
 
     def __init__(self) -> None:
         self.queries = 0
@@ -47,6 +55,12 @@ class OracleStats:
         self.bfs_expansions = 0
         self.bfs_pruned = 0
         self.reach_cache_hits = 0
+        # Cache churn: entries evicted by the bounded-overflow policy,
+        # and full clears forced by event GC (see _cache_reachable /
+        # remove_event).  Exported so a latency cliff from cache loss is
+        # visible in `repro stats` instead of silent.
+        self.reach_cache_evictions = 0
+        self.reach_cache_clears = 0
 
     @property
     def messages(self) -> int:
@@ -61,6 +75,8 @@ class OracleStats:
         self.bfs_expansions = 0
         self.bfs_pruned = 0
         self.reach_cache_hits = 0
+        self.reach_cache_evictions = 0
+        self.reach_cache_clears = 0
 
 
 class EventDependencyGraph:
@@ -188,9 +204,20 @@ class EventDependencyGraph:
             return True
         return False
 
+    @property
+    def reach_cache_size(self) -> int:
+        return len(self._reach_cache)
+
     def _cache_reachable(self, key: Tuple[EventId, EventId]) -> None:
         if len(self._reach_cache) >= self._REACH_CACHE_LIMIT:
-            self._reach_cache.clear()
+            # Evict the oldest quarter (dict preserves insertion order)
+            # instead of dropping everything: a full clear forced every
+            # hot query to re-run its BFS at once, which showed up as a
+            # periodic latency cliff at the cache limit.
+            evict = self._REACH_CACHE_LIMIT // 4
+            for old_key in list(islice(self._reach_cache, evict)):
+                del self._reach_cache[old_key]
+            self.stats.reach_cache_evictions += evict
         self._reach_cache[key] = True
 
     def _search(self, a: VectorTimestamp, b: VectorTimestamp) -> bool:
@@ -272,7 +299,9 @@ class EventDependencyGraph:
             self._pred[s].discard(ts.id)
         # A collected event that re-registers later starts with a clean
         # slate, so positive reachability through it must be forgotten.
-        self._reach_cache.clear()
+        if self._reach_cache:
+            self._reach_cache.clear()
+            self.stats.reach_cache_clears += 1
 
 
 class TimelineOracle:
@@ -288,6 +317,10 @@ class TimelineOracle:
         # reachability fast-path counters surface through ``oracle.stats``.
         self._graph = graph if graph is not None else EventDependencyGraph()
         self.stats = self._graph.stats
+        # Optional repro.obs.Tracer; ordering decisions emit
+        # ``oracle.decide`` spans (unattributed — one decision orders two
+        # transactions; assemble_chain joins them via the a/b event ids).
+        self.tracer = None
 
     @property
     def graph(self) -> EventDependencyGraph:
@@ -297,20 +330,27 @@ class TimelineOracle:
     def num_events(self) -> int:
         return len(self._graph)
 
+    @property
+    def reach_cache_size(self) -> int:
+        return self._graph.reach_cache_size
+
     def create_event(self, ts: VectorTimestamp) -> None:
         """Register a transaction as an event (idempotent)."""
         if self._graph.add_event(ts):
             self.stats.events_created += 1
 
-    def query_order(
+    def established_order(
         self, a: VectorTimestamp, b: VectorTimestamp
     ) -> Optional[Ordering]:
-        """Return the pre-established order of (a, b), or None.
+        """The pre-established order of (a, b), or None — no accounting.
 
         Consults vector clocks, explicit commitments, and their combined
-        transitive closure.  Never creates new commitments.
+        transitive closure.  Never creates new commitments and never
+        bumps request counters; the counting entry points
+        (:meth:`query_order`, :meth:`order`) and the replicated chain
+        build on this so that one client request is counted exactly
+        once, at exactly one replica.
         """
-        self.stats.queries += 1
         vc = a.compare(b)
         if vc is not Ordering.CONCURRENT:
             return vc
@@ -321,6 +361,16 @@ class TimelineOracle:
         if self._graph.reaches(b, a):
             return Ordering.AFTER
         return None
+
+    def query_order(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        """Return the pre-established order of (a, b), or None.
+
+        One client request, one ``queries`` increment.
+        """
+        self.stats.queries += 1
+        return self.established_order(a, b)
 
     def order(
         self,
@@ -334,17 +384,30 @@ class TimelineOracle:
         servers pass arrival order for transaction pairs, and order node
         programs *after* concurrent committed writes (section 4.1), so that
         node programs never miss completed transactions.
+
+        Counts as one request: a query if the pair was already ordered,
+        a decision if this call established the order.  (It used to call
+        :meth:`query_order` internally, charging every decision as a
+        query *and* a decision — Fig 14's oracle-message counts ran ~2x
+        the real request rate.)
         """
-        existing = self.query_order(a, b)
+        existing = self.established_order(a, b)
         if existing is not None:
+            self.stats.queries += 1
             return existing
         if prefer is Ordering.BEFORE:
-            self._graph.add_order(a, b)
+            first, second = a, b
         elif prefer is Ordering.AFTER:
-            self._graph.add_order(b, a)
+            first, second = b, a
         else:
             raise OrderingError(f"cannot prefer {prefer}")
+        self._graph.add_order(first, second)
         self.stats.decisions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                None, "oracle.decide", node="oracle",
+                a=first.id, b=second.id,
+            )
         return prefer
 
     def assign_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
@@ -353,6 +416,10 @@ class TimelineOracle:
         self._ensure(b)
         self._graph.add_order(a, b)
         self.stats.decisions += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                None, "oracle.decide", node="oracle", a=a.id, b=b.id
+            )
 
     def collect_below(self, watermark: VectorTimestamp) -> int:
         """Drop events strictly happens-before the watermark (section 4.5).
@@ -396,6 +463,28 @@ class ReplicatedOracle:
         return len(self._replicas)
 
     @property
+    def stats(self) -> OracleStats:
+        """Client-visible request accounting.
+
+        Counted at the chain head only: one client request is one
+        increment, regardless of chain length.  Intra-chain fan-out is
+        ``update_messages``.
+        """
+        return self.head.stats
+
+    @property
+    def tracer(self):
+        return self.head.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        # Only the head emits decision spans — one span per client
+        # decision, not one per replica.
+        for replica in self._replicas:
+            replica.tracer = None
+        self.head.tracer = tracer
+
+    @property
     def head(self) -> TimelineOracle:
         return self._replicas[0]
 
@@ -423,8 +512,13 @@ class ReplicatedOracle:
     ) -> Optional[Ordering]:
         # Queries that might *decide* must not race ahead of the chain;
         # pure queries read any replica.  All replicas are kept identical
-        # synchronously here, so any replica is safe.
-        return self._reader().query_order(a, b)
+        # synchronously here, so any replica is safe.  Accounting happens
+        # at the head (one client request, one increment) while the read
+        # itself is served by the round-robin replica's non-counting
+        # path, so per-replica read load never inflates client-visible
+        # counts.
+        self.head.stats.queries += 1
+        return self._reader().established_order(a, b)
 
     def order(
         self,
@@ -444,4 +538,8 @@ class ReplicatedOracle:
         """Remove one replica from the chain (crash model)."""
         if len(self._replicas) == 1:
             raise ValueError("cannot fail the last replica")
+        tracer = self.head.tracer
         del self._replicas[index]
+        if index == 0 and tracer is not None:
+            # Decision spans follow the head role, not the dead process.
+            self.head.tracer = tracer

@@ -82,6 +82,11 @@ class WeaverClient:
                 )
                 self._sleep(self._rng.random() * ceiling)
             tx = self._db.begin_transaction(gatekeeper)
+            if attempt:
+                self._db.tracer.emit(
+                    tx.trace_id, "client.retry", node="client",
+                    attempt=attempt,
+                )
             try:
                 result = fn(tx)
                 tx.commit()

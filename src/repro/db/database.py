@@ -19,6 +19,7 @@ the discrete-event simulator to charge latencies and service times.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
@@ -30,6 +31,7 @@ from ..core.ordering import make_oracle
 from ..core.vclock import VectorTimestamp
 from ..errors import ClusterError, NoSuchVertex
 from ..graph.partition import HashPartitioner, LdgPartitioner
+from ..obs import MetricsRegistry, Tracer, register_stats_collectors
 from ..programs.caching import ChangeTracker, ProgramCache
 from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
 from ..programs.state import WatermarkRegistry
@@ -82,9 +84,29 @@ class Weaver:
             if cfg.enable_program_cache
             else None
         )
+        # Observability: one registry + tracer per deployment.  Direct
+        # mode has no time axis, so spans default to their emission
+        # sequence number as the timestamp (still a total order).
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(registry=self.metrics)
+        self.oracle.tracer = self.tracer
+        for gk in self.gatekeepers:
+            gk.tracer = self.tracer
+        for shard in self.shards:
+            shard.tracer = self.tracer
+        register_stats_collectors(
+            self.metrics,
+            oracle=self.oracle,
+            gatekeepers=lambda: self.gatekeepers,
+            shards=lambda: self.shards,
+        )
         self._handle_counter = itertools.count()
         self._query_counter = itertools.count(1)
         self._next_gk = itertools.count()
+        # Sender-assigned tiebreak ranks: one global send order across
+        # all channels, which extends backing-store commit order because
+        # forwarding happens synchronously at commit.
+        self._send_rank = itertools.count()
         self._commits = 0
         self._commits_since_drain = 0
         self._channel_seqno: Dict[Tuple[int, int], int] = {}
@@ -114,13 +136,20 @@ class Weaver:
         )
         if not 0 <= index < len(self.gatekeepers):
             raise ClusterError(f"no gatekeeper {index}")
-        return Transaction(self, index)
+        tx = Transaction(self, index)
+        tx.trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            tx.trace_id, "client.submit", node="client", gk=index
+        )
+        return tx
 
     # Transaction.commit() lands here.
     def _commit_transaction(self, tx: Transaction) -> VectorTimestamp:
         gk = self.gatekeepers[tx.gatekeeper_index]
         self._place_new_vertices(tx)
-        ts = gk.commit_prepared(tx.store_tx, tx.touched_vertices)
+        ts = gk.commit_prepared(
+            tx.store_tx, tx.touched_vertices, trace_id=tx.trace_id
+        )
         self._forward_to_shards(gk.index, ts, tx)
         self.changes.bump_all(tx.touched_vertices)
         self._commits += 1
@@ -169,7 +198,9 @@ class Weaver:
             self._enqueue(
                 gk_index,
                 shard_index,
-                QueuedTransaction(ts, tuple(ops_list)),
+                QueuedTransaction(
+                    ts, tuple(ops_list), trace_id=tx.trace_id
+                ),
             )
 
     def _enqueue(
@@ -178,7 +209,9 @@ class Weaver:
         channel = (gk_index, shard_index)
         seqno = self._channel_seqno.get(channel, 0)
         self._channel_seqno[channel] = seqno + 1
-        stamped = QueuedTransaction(qtx.ts, qtx.operations, seqno)
+        stamped = dataclasses.replace(
+            qtx, seqno=seqno, tiebreak=next(self._send_rank)
+        )
         self.shards[shard_index].enqueue(gk_index, stamped)
 
     # -- queue pumping -----------------------------------------------------
@@ -239,8 +272,17 @@ class Weaver:
             if cached is not None:
                 return cached
         query_id = next(self._query_counter)
+        trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            trace_id, "program.submit", node="client",
+            query_id=query_id, program=program.name,
+        )
         gk = self.gatekeepers[self._pick_gatekeeper()]
         ts = at if at is not None else gk.issue_timestamp()
+        self.tracer.emit(
+            trace_id, "program.stamp", node=gk.name,
+            ts=ts, query_id=query_id,
+        )
         self._make_shards_ready(ts)
         self.watermarks.start(query_id, ts)
         try:
@@ -250,6 +292,9 @@ class Weaver:
         finally:
             self.watermarks.finish(query_id)
         self.programs_run += 1
+        self.tracer.emit(
+            trace_id, "program.complete", node="client", query_id=query_id
+        )
         if cache_entry_key is not None:
             self.program_cache.put(cache_entry_key, result, result.read_set)
         return result
@@ -491,6 +536,7 @@ class Weaver:
         """
         self.drain()
         replacement = self.manager.recover_shard(index)
+        replacement.tracer = self.tracer
         self.shards[index] = replacement
         if self._paging_enabled:
             replacement.set_pager(self._load_vertex_image)
@@ -501,6 +547,7 @@ class Weaver:
         """Crash and recover one gatekeeper (epoch bump, clocks restart)."""
         self.drain()
         replacement = self.manager.recover_gatekeeper(index)
+        replacement.tracer = self.tracer
         self.gatekeepers[index] = replacement
         self._reset_channels()
         return replacement

@@ -31,6 +31,9 @@ class Transaction:
         self._created_vertices: List[str] = []
         self._state = "open"
         self.timestamp: Optional[VectorTimestamp] = None
+        # Observability id assigned by the database at begin; carried to
+        # the gatekeeper and the shards so every hop's spans join up.
+        self.trace_id: Optional[int] = None
 
     # -- lifecycle ------------------------------------------------------
 

@@ -1,0 +1,257 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+* **Deterministic.**  Snapshots are value-only dictionaries with sorted
+  keys; histograms use fixed bucket bounds and interpolate quantiles
+  from bucket counts, so two identical runs produce identical snapshots
+  (the golden-snapshot test in ``tests/test_stats_parity.py`` relies on
+  this).
+* **Cheap on the hot path.**  A counter increment is one attribute add;
+  a histogram observation is one bisect plus three adds.  Nothing
+  allocates per event.
+* **Absorbing, not rewriting.**  The legacy per-server stats classes
+  keep their plain-attribute counters (dozens of call sites and tests
+  touch them directly); *collectors* registered on the registry read
+  them out under stable dotted names at snapshot time.  New metrics use
+  registry-native instruments directly.
+
+Metric names are dotted paths (``oracle.messages``,
+``latency.tx_commit.p99``).  Renaming one is an API change: the golden
+test must be updated deliberately.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram buckets: geometric from 1 µs to ~16 s, factor 2.
+#: Wide enough for simulated network latencies (100 µs hops) through
+#: whole chaos-run horizons, fine enough for meaningful p50/p95/p99.
+DEFAULT_BUCKETS = tuple(1e-6 * (2.0 ** k) for k in range(25))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, current τ)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """A fixed-bucket histogram with interpolated p50/p95/p99.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value (one overflow bucket catches the rest).
+    Quantiles interpolate linearly inside the winning bucket, which is
+    deterministic and needs no per-sample storage — the property that
+    lets the trace layer feed the Fig 10/11 latency CDFs without keeping
+    every sample alive.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must strictly increase")
+        self.name = name
+        self.bounds: tuple = bounds
+        # One extra slot: the overflow bucket past the last bound.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), interpolated within its bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = self.min
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            upper = (
+                self.bounds[i] if i < len(self.bounds) else self.max
+            )
+            upper = min(upper, self.max)
+            lower_edge = max(lower, self.min)
+            if cumulative + n >= target:
+                fraction = (target - cumulative) / n
+                return lower_edge + fraction * (upper - lower_edge)
+            cumulative += n
+            lower = upper
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cdf(self, points: int = 50) -> List[tuple]:
+        """(value, cumulative fraction) pairs — Fig 10/11 curve data."""
+        if self.count == 0:
+            return []
+        out = []
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            cumulative += n
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            out.append((min(upper, self.max), cumulative / self.count))
+        return out[-points:] if len(out) > points else out
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max if self.count else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+#: A collector returns {dotted-name: number} read at snapshot time.
+Collector = Callable[[], Dict[str, Number]]
+
+
+class MetricsRegistry:
+    """One deployment's metric namespace.
+
+    Instruments are created on first use (``counter(name)`` is get-or-
+    create); requesting the same name as a different instrument type is
+    an error — dotted names are a single flat namespace.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instruments ----------------------------------------------------
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ValueError(
+                    f"metric {name!r} already exists as another type"
+                )
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            self._claim(name, self._counters)
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            self._claim(name, self._gauges)
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            self._claim(name, self._histograms)
+            found = self._histograms[name] = Histogram(name, buckets)
+        return found
+
+    # -- collectors -----------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        """Absorb an external stats source into snapshots.
+
+        ``collector()`` is called at snapshot time and must return a
+        ``{dotted-name: number}`` dict; this is how the legacy
+        ``*Stats`` classes surface without rewriting their call sites.
+        """
+        self._collectors.append(collector)
+
+    # -- output ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Every metric, flat, under sorted dotted names.
+
+        Histograms expand to ``.count``/``.sum``/``.p50``/``.p95``/
+        ``.p99``/``.max``.  Collector output merges in last, so a
+        collector name colliding with an instrument is a bug made
+        visible by the golden-snapshot test rather than silently
+        shadowed.
+        """
+        out: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for suffix, value in histogram.summary().items():
+                out[f"{name}.{suffix}"] = value
+        for collector in self._collectors:
+            out.update(collector())
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Reset owned instruments (collector sources reset themselves)."""
+        for family in (self._counters, self._gauges, self._histograms):
+            for instrument in family.values():
+                instrument.reset()

@@ -37,6 +37,7 @@ from ..core.vclock import VectorTimestamp
 from ..db.config import WeaverConfig
 from ..db.operations import Operation, touched_vertices
 from ..errors import TransactionAborted
+from ..obs import MetricsRegistry, Tracer, register_stats_collectors
 from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
 from ..store.kvstore import TransactionalStore
 from ..store.mapping import ShardMapping
@@ -174,6 +175,28 @@ class SimulatedWeaver:
         for shard in self.shards:
             self.manager.register_shard(shard)
         self.executor = ProgramExecutor()
+        # Observability: spans are stamped with simulated time, and the
+        # latency histograms filled from the trace timings are the data
+        # source for the Fig 10/11 latency CDFs.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            clock=lambda: self.simulator.now, registry=self.metrics
+        )
+        self.oracle.tracer = self.tracer
+        for gk in self.gatekeepers:
+            gk.tracer = self.tracer
+        for shard in self.shards:
+            shard.tracer = self.tracer
+        register_stats_collectors(
+            self.metrics,
+            oracle=self.oracle,
+            gatekeepers=lambda: self.gatekeepers,
+            shards=lambda: self.shards,
+            network=self.network,
+            extra=self._sim_metrics,
+        )
+        self.latency_tx = self.metrics.histogram("latency.tx_commit")
+        self.latency_program = self.metrics.histogram("latency.program")
         self._seqnos: Dict[Tuple[int, int], int] = {}
         # Global send rank for shard-bound messages: the oracle tiebreak
         # for concurrent pairs.  Send order extends store commit order
@@ -357,11 +380,14 @@ class SimulatedWeaver:
         ts: VectorTimestamp,
         operations: Tuple[Operation, ...],
         kind: str,
+        trace_id: Optional[int] = None,
     ) -> None:
         channel = (gk_index, shard_index)
         seqno = self._seqnos.get(channel, 0)
         self._seqnos[channel] = seqno + 1
-        qtx = QueuedTransaction(ts, operations, seqno, next(self._send_rank))
+        qtx = QueuedTransaction(
+            ts, operations, seqno, next(self._send_rank), trace_id
+        )
         gk_name = self.gatekeepers[gk_index].name
         shard = self.shards[shard_index]
         self.network.send(
@@ -383,11 +409,13 @@ class SimulatedWeaver:
         if name.startswith("gk"):
             index = int(name[2:])
             replacement = self.manager.recover_gatekeeper(index)
+            replacement.tracer = self.tracer
             self.gatekeepers[index] = replacement
         else:
             index = int(name[5:])
             replacement = self.manager.recover_shard(index)
             replacement.on_apply = self._apply_observer
+            replacement.tracer = self.tracer
             self.shards[index] = replacement
             self._min_epoch[index] = self.manager.epoch
         # Channel sequence numbers keep counting across the barrier —
@@ -451,10 +479,19 @@ class SimulatedWeaver:
         operations: List[Operation],
         callback: Optional[Callable[[bool, Any], None]] = None,
         new_vertices: Tuple[str, ...] = (),
-    ) -> None:
-        """Submit buffered operations from a client at current sim time."""
+    ) -> int:
+        """Submit buffered operations from a client at current sim time.
+
+        Returns the trace id assigned to this submission, under which
+        every hop's spans (stamp, store commit, shard enqueue/apply,
+        ordering decisions) can be reassembled.
+        """
         gk_index = next(self._gk_rr) % len(self.gatekeepers)
         gk = self.gatekeepers[gk_index]
+        trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            trace_id, "client.submit", node="client", gk=gk_index
+        )
         self.network.send(
             "client",
             gk.name,
@@ -463,8 +500,11 @@ class SimulatedWeaver:
             tuple(operations),
             tuple(new_vertices),
             callback,
+            trace_id,
+            self.simulator.now,
             kind="tx-submit",
         )
+        return trace_id
 
     def _gatekeeper_commit(
         self,
@@ -472,6 +512,8 @@ class SimulatedWeaver:
         operations: Tuple[Operation, ...],
         new_vertices: Tuple[str, ...],
         callback,
+        trace_id: Optional[int] = None,
+        submitted: float = 0.0,
         charged: bool = False,
     ) -> None:
         gk = self.gatekeepers[gk_index]
@@ -485,7 +527,8 @@ class SimulatedWeaver:
             self.simulator.schedule_at(
                 done,
                 self._gatekeeper_commit,
-                gk_index, operations, new_vertices, callback, True,
+                gk_index, operations, new_vertices, callback,
+                trace_id, submitted, True,
             )
             return
         if gk.name in self._crashed:
@@ -502,7 +545,7 @@ class SimulatedWeaver:
             for op in operations:
                 op.apply_store(store_tx, None)
             ts = gk.commit_prepared(
-                store_tx, touched_vertices(operations)
+                store_tx, touched_vertices(operations), trace_id=trace_id
             )
         except TransactionAborted as exc:
             self.aborted += 1
@@ -514,6 +557,7 @@ class SimulatedWeaver:
                 callback(False, exc)
             return
         self.committed += 1
+        self.latency_tx.observe(self.simulator.now - submitted)
         per_shard: Dict[int, List[Operation]] = {}
         for op in operations:
             (owner,) = op.touched()
@@ -521,7 +565,8 @@ class SimulatedWeaver:
             per_shard.setdefault(shard, []).append(op)
         for shard_index, ops_list in per_shard.items():
             self._send_to_shard(
-                gk_index, shard_index, ts, tuple(ops_list), "tx"
+                gk_index, shard_index, ts, tuple(ops_list), "tx",
+                trace_id=trace_id,
             )
         if callback is not None:
             callback(True, ts)
@@ -532,11 +577,19 @@ class SimulatedWeaver:
         start: str,
         params: Any = None,
         callback: Optional[Callable[[ProgramResult], None]] = None,
-    ) -> None:
-        """Submit a node program; executes once every shard is ready."""
+    ) -> int:
+        """Submit a node program; executes once every shard is ready.
+
+        Returns the trace id assigned to the submission.
+        """
         gk_index = next(self._gk_rr) % len(self.gatekeepers)
         gk_name = self.gatekeepers[gk_index].name
         self._programs_outstanding += 1
+        trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            trace_id, "program.submit", node="client",
+            program=program.name, gk=gk_index,
+        )
         user_callback = callback
 
         def callback(result) -> None:  # noqa: F811 — completion wrapper
@@ -564,15 +617,20 @@ class SimulatedWeaver:
                 return
             ts = gk.issue_timestamp()
             query_id = next(self._query_counter)
+            self.tracer.emit(
+                trace_id, "program.stamp", node=gk.name,
+                ts=ts, query_id=query_id,
+            )
             self._pending_programs.append(
                 (ts, [(start, params)], program, query_id,
-                 callback, self.simulator.now)
+                 callback, self.simulator.now, trace_id)
             )
             self._check_pending_programs()
 
         self.network.send(
             "client", gk_name, stamp_and_queue, kind="prog-submit"
         )
+        return trace_id
 
     def _restamp_pending_programs(self) -> None:
         live = [
@@ -581,35 +639,31 @@ class SimulatedWeaver:
         if not live:
             return
         restamped = []
-        for ts, frontier, program, query_id, callback, submitted in (
-            self._pending_programs
-        ):
+        for entry in self._pending_programs:
+            ts, frontier, program, query_id, callback, submitted, tid = entry
             fresh = live[query_id % len(live)].issue_timestamp()
             restamped.append(
-                (fresh, frontier, program, query_id, callback, submitted)
+                (fresh, frontier, program, query_id, callback, submitted,
+                 tid)
             )
         self._pending_programs = restamped
 
     def _check_pending_programs(self) -> None:
         still_waiting = []
         for entry in self._pending_programs:
-            ts, frontier, program, query_id, callback, submitted = entry
+            ts, frontier, program, query_id, callback, submitted, tid = entry
             if all(shard.advance_to(ts) for shard in self.shards):
                 result = self.executor.execute(
                     program, frontier, self._resolver(ts), ts, query_id
                 )
                 completion = self._charge_program_reads(result)
                 if completion <= self.simulator.now:
-                    self.program_latencies.append(
-                        self.simulator.now - submitted
-                    )
-                    if callback is not None:
-                        callback(result)
+                    self._finish_program(result, submitted, callback, tid)
                 else:
                     self.simulator.schedule_at(
                         completion,
                         self._finish_program,
-                        result, submitted, callback,
+                        result, submitted, callback, tid,
                     )
             else:
                 still_waiting.append(entry)
@@ -633,8 +687,16 @@ class SimulatedWeaver:
             completion = max(completion, done)
         return completion
 
-    def _finish_program(self, result, submitted: float, callback) -> None:
-        self.program_latencies.append(self.simulator.now - submitted)
+    def _finish_program(
+        self, result, submitted: float, callback, trace_id=None
+    ) -> None:
+        latency = self.simulator.now - submitted
+        self.program_latencies.append(latency)
+        self.latency_program.observe(latency)
+        if trace_id is not None:
+            self.tracer.emit(
+                trace_id, "program.complete", node="client",
+            )
         if callback is not None:
             callback(result)
 
@@ -671,6 +733,15 @@ class SimulatedWeaver:
 
     # -- introspection --------------------------------------------------
 
+    def _sim_metrics(self) -> Dict[str, float]:
+        return {
+            "sim.committed": self.committed,
+            "sim.aborted": self.aborted,
+            "sim.recoveries": self.recoveries,
+            "sim.stragglers_dropped": self.stragglers_dropped,
+            "sim.tau": self.tau,
+        }
+
     def announce_messages(self) -> int:
         return self.network.stats.count("announce")
 
@@ -678,5 +749,7 @@ class SimulatedWeaver:
         return self.network.stats.count("nop")
 
     def oracle_messages(self) -> int:
-        head = getattr(self.oracle, "head", self.oracle)
-        return head.stats.messages
+        # Client-visible request count: both oracle flavours expose it as
+        # ``.stats`` (the replicated chain counts at its head), so the τ
+        # controller feeds on exactly one increment per request.
+        return self.oracle.stats.messages

@@ -44,8 +44,9 @@ def decided_order(oracle) -> DecidedOrder:
     """The decided-order relation backed by a timeline oracle.
 
     Vector clocks answer related pairs; for concurrent pairs the oracle
-    reports only pre-established commitments (``query_order`` never
-    decides), so checking a history perturbs nothing.
+    reports only pre-established commitments (``established_order``
+    never decides and never counts), so checking a history perturbs
+    neither the ordering state nor the client-visible request counters.
     """
     head = getattr(oracle, "head", oracle)
 
@@ -57,7 +58,7 @@ def decided_order(oracle) -> DecidedOrder:
         order = a.compare(b)
         if order is not Ordering.CONCURRENT:
             return order
-        return head.query_order(a, b)
+        return head.established_order(a, b)
 
     return compare
 
@@ -150,6 +151,41 @@ class History:
 
     def record_apply(self, shard_index: int, ts: VectorTimestamp) -> None:
         self.applies.setdefault(shard_index, []).append(ts.id)
+
+    # -- trace-stream consumption ---------------------------------------
+
+    def attach(self, tracer) -> None:
+        """Subscribe this history to a trace stream (``repro.obs``).
+
+        The referee becomes a tracer sink: ``shard.apply`` spans feed the
+        per-shard apply sequences, and the workload-level ``txn.commit``
+        / ``program.read`` spans feed commits and reads.  Sinks fire
+        synchronously at emission, so commit records still arrive in
+        backing-store commit order (the :meth:`record_commit` contract).
+        """
+        tracer.add_sink(self.consume)
+
+    def consume(self, span) -> None:
+        """Fold one span into the history; unrelated kinds are ignored."""
+        kind = span.kind
+        if kind == "shard.apply":
+            self.record_apply(span.attr("shard"), span.attr("ts"))
+        elif kind == "txn.commit":
+            self.record_commit(
+                span.attr("tag"),
+                span.attr("ts"),
+                span.attr("writes"),
+                span.attr("submitted_at"),
+                span.at,
+            )
+        elif kind == "program.read":
+            self.record_read(
+                span.attr("query_id"),
+                span.attr("ts"),
+                span.attr("reads"),
+                span.attr("submitted_at"),
+                span.at,
+            )
 
     # -- reproducibility ------------------------------------------------
 

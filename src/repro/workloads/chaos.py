@@ -90,6 +90,14 @@ class ChaosReport:
     history: Optional[History] = None
     violations: List[Violation] = field(default_factory=list)
     digest: str = ""
+    # Observability: commit/read latency summaries (count, p50/p95/p99 —
+    # the Fig 10/11 CDF data comes from the same histograms via
+    # ``metrics``), the full metric snapshot, and the run's tracer for
+    # span-chain reconstruction (`repro trace`).
+    tx_latency: Dict[str, float] = field(default_factory=dict)
+    read_latency: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    tracer: Optional[object] = None
 
     @property
     def consistent(self) -> bool:
@@ -138,9 +146,10 @@ def run_chaos(
         fault_plan=plan,
     )
     history = History()
-    sim.set_apply_observer(
-        lambda shard_index, qtx: history.record_apply(shard_index, qtx.ts)
-    )
+    # The referee consumes the trace stream: shard.apply spans feed the
+    # apply sequences, and the workload emits txn.commit / program.read
+    # spans below instead of calling record_* directly.
+    history.attach(sim.tracer)
     report = ChaosReport(seed=seed, duration=duration)
 
     vertices = [f"v{i}" for i in range(num_vertices)]
@@ -154,17 +163,17 @@ def run_chaos(
 
         def on_commit(ok: bool, ts_or_exc) -> None:
             if ok:
-                history.record_commit(
-                    tag,
-                    ts_or_exc,
-                    [(v, tag) for v in targets],
-                    submitted_at,
-                    sim.simulator.now,
+                sim.tracer.emit(
+                    trace_id, "txn.commit", node="client",
+                    tag=tag,
+                    ts=ts_or_exc,
+                    writes=tuple((v, tag) for v in targets),
+                    submitted_at=submitted_at,
                 )
             else:
                 report.aborted += 1
 
-        sim.submit_transaction(ops, callback=on_commit)
+        trace_id = sim.submit_transaction(ops, callback=on_commit)
 
     def submit_read(target: str) -> None:
         query_id = next(tags)
@@ -177,36 +186,39 @@ def run_chaos(
             observed = None
             if result.results:
                 observed = result.results[0]["properties"].get("w")
-            history.record_read(
-                query_id,
-                result.timestamp,
-                [(target, observed)],
-                submitted_at,
-                sim.simulator.now,
+            sim.tracer.emit(
+                trace_id, "program.read", node="client",
+                query_id=query_id,
+                ts=result.timestamp,
+                reads=((target, observed),),
+                submitted_at=submitted_at,
             )
             report.reads_completed += 1
 
-        sim.submit_program(GetNode(), target, callback=on_result)
+        trace_id = sim.submit_program(GetNode(), target, callback=on_result)
 
     # -- setup: create every vertex with an initial tag ------------------
 
     for vertex in vertices:
         tag = next(tags)
         submitted_at = sim.simulator.now
+        setup_trace = []
 
         def on_setup(ok, ts_or_exc, tag=tag, vertex=vertex,
-                     submitted_at=submitted_at) -> None:
+                     submitted_at=submitted_at,
+                     setup_trace=setup_trace) -> None:
             if ok:
-                history.record_commit(
-                    tag, ts_or_exc, [(vertex, tag)],
-                    submitted_at, sim.simulator.now,
+                sim.tracer.emit(
+                    setup_trace[0], "txn.commit", node="client",
+                    tag=tag, ts=ts_or_exc, writes=((vertex, tag),),
+                    submitted_at=submitted_at,
                 )
 
-        sim.submit_transaction(
+        setup_trace.append(sim.submit_transaction(
             [CreateVertex(vertex), SetVertexProperty(vertex, "w", tag)],
             callback=on_setup,
             new_vertices=(vertex,),
-        )
+        ))
         sim.run(100 * USEC)
     sim.run(2 * MSEC)  # let setup forwards land everywhere
 
@@ -244,4 +256,8 @@ def run_chaos(
     report.digest = history.digest()
     checker = HistoryChecker(history, decided_order(sim.oracle))
     report.violations = checker.check()
+    report.tx_latency = sim.latency_tx.summary()
+    report.read_latency = sim.latency_program.summary()
+    report.metrics = sim.metrics.snapshot()
+    report.tracer = sim.tracer
     return report

@@ -78,7 +78,11 @@ class TestRefinableOrdering:
         ordering.compare(A, B)
         ordering.compare(A, B)
         assert ordering.stats.reactive == 2
-        assert oracle.stats.queries == 2
+        # One client request, one message: the first compare decides,
+        # the second finds the order established (a query).
+        assert oracle.stats.decisions == 1
+        assert oracle.stats.queries == 1
+        assert oracle.stats.messages == 2
 
     def test_prefer_after(self):
         ordering = RefinableOrdering(TimelineOracle())
