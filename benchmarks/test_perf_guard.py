@@ -1,11 +1,13 @@
-"""Quick-mode perf smoke: the ordering fast path must not regress.
+"""Quick-mode perf smoke: the fast paths must not regress.
 
-A deliberately small configuration (seconds, not minutes) suitable for
+Deliberately small configurations (seconds, not minutes) suitable for
 every CI run: the skyline-indexed oracle must not be slower than the
-seed-equivalent reference on an oracle-heavy schedule.  The full-size
-measurement (with the ≥ 3x acceptance bar) lives in
-``test_micro_ordering.py``; this guard only catches a fast path that
-stopped being fast.
+seed-equivalent reference, and the batched scatter-gather program
+executor must keep its structural wins (O(shards) snapshots per query,
+batch messages, hop dedup, readiness fast path) — counts, not wall
+clock, so the guard is stable on loaded CI machines.  The full-size
+measurements (with the ≥ 3x acceptance bars) live in
+``test_micro_ordering.py`` and ``test_micro_programs.py``.
 
 Run with::
 
@@ -13,6 +15,8 @@ Run with::
 """
 
 from repro.bench.ordering_bench import compare_fastpath
+from repro.bench.programs_bench import build_database, compare_traversal
+from repro.programs.library import Bfs, params
 
 # Best-of-N to damp scheduler noise; the margin tolerates the rest.
 _ATTEMPTS = 3
@@ -40,3 +44,55 @@ def test_index_actually_prunes():
     counters = result["indexed_counters"]
     assert counters["bfs_pruned"] > counters["bfs_expansions"]
     assert counters["reach_cache_hits"] > 0
+
+
+# -- batched scatter-gather node programs -------------------------------
+
+
+def test_batched_not_slower_than_seed():
+    best = None
+    for attempt in range(_ATTEMPTS):
+        result = compare_traversal(num_vertices=200, avg_degree=6)
+        if best is None or result["speedup"] > best["speedup"]:
+            best = result
+        if best["speedup"] >= 1.5:
+            break
+    assert best["results_equal"]
+    assert best["read_sets_equal"]
+    assert best["batched_seconds"] <= best["seed_seconds"] * _TOLERANCE, (
+        f"batched executor slower than the seed per-vertex path: "
+        f"{best['batched_seconds']:.3f}s vs {best['seed_seconds']:.3f}s"
+    )
+
+
+def test_batched_structural_counters():
+    """Counts, not clocks: the wins the speedup is built from.
+
+    Fails loudly if the batched path silently degrades to per-vertex
+    behavior — one snapshot per resolution, one message per hop, or no
+    same-round dedup.
+    """
+    result = compare_traversal(num_vertices=200, avg_degree=6)
+    batched = result["batched_counters"]
+    seeded = result["seed_counters"]
+    # O(shards) snapshot views per query, not O(vertices visited).
+    assert batched["snapshots_per_query"] <= result["num_shards"]
+    # The seed path really does pay one snapshot per resolution.
+    assert seeded["snapshots_per_query"] == seeded["resolutions"]
+    # One message per (shard, round) beats one per resolved vertex.
+    assert batched["shard_batches"] < batched["vertices_resolved"]
+    assert batched["round_messages_saved"] > 0
+    # BFS revisits vertices from many parents at the same depth.
+    assert batched["dedup_hits"] > 0
+    assert batched["snapshot_reuse_hits"] > 0
+
+
+def test_readiness_fastpath_skips_second_storm():
+    """Re-running at an already-served timestamp skips the NOP storm."""
+    db, handles = build_database(num_vertices=60, avg_degree=4)
+    point = db.checkpoint()
+    db.run_program(Bfs(), handles[0], params(depth=0), at=point)
+    storms = db.executor.stats.readiness_storms
+    db.run_program(Bfs(), handles[0], params(depth=0), at=point)
+    assert db.executor.stats.readiness_fastpath_hits >= 1
+    assert db.executor.stats.readiness_storms == storms

@@ -34,6 +34,7 @@ from ..graph.partition import HashPartitioner, LdgPartitioner
 from ..obs import MetricsRegistry, Tracer, register_stats_collectors
 from ..programs.caching import ChangeTracker, ProgramCache
 from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
+from ..programs.routing import ShardSnapshotResolver
 from ..programs.state import WatermarkRegistry
 from ..store.kvstore import TransactionalStore
 from ..store.mapping import ShardMapping
@@ -99,6 +100,7 @@ class Weaver:
             oracle=self.oracle,
             gatekeepers=lambda: self.gatekeepers,
             shards=lambda: self.shards,
+            programs=lambda: self.executor.stats,
         )
         self._handle_counter = itertools.count()
         self._query_counter = itertools.count(1)
@@ -220,15 +222,22 @@ class Weaver:
         """One NOP from every gatekeeper to every shard (section 4.2's
         heartbeat, issued eagerly instead of on a 10 µs timer).
 
-        An announce round runs before each gatekeeper's NOP, so the NOPs
-        form a vector-clock chain instead of a mutually-concurrent set —
-        heartbeats then order proactively and never burden the oracle,
-        as in the real system where announces (τ ~ tens of µs) interleave
-        the NOP timers.
+        A single announce round runs first; after it, each NOP is folded
+        directly into the next gatekeeper's clock before that one ticks,
+        so the NOPs form a vector-clock chain instead of a mutually-
+        concurrent set — heartbeats then order proactively and never
+        burden the oracle, as in the real system where announces
+        (τ ~ tens of µs) interleave the NOP timers.  Chaining costs G-1
+        point-to-point folds instead of the seed's G full announce
+        rounds (O(G²) messages each).
         """
+        sync_announce_all(self.gatekeepers)
+        previous: Optional[VectorTimestamp] = None
         for gk in self.gatekeepers:
-            sync_announce_all(self.gatekeepers)
+            if previous is not None:
+                gk.receive_announce(previous.clocks)
             nop_ts = gk.make_nop()
+            previous = nop_ts
             for shard in self.shards:
                 self._enqueue(gk.index, shard.index, QueuedTransaction(nop_ts))
         # Announce the final NOP too, so every later stamp dominates it.
@@ -236,7 +245,6 @@ class Weaver:
 
     def drain(self) -> int:
         """Announce, heartbeat, and apply everything applicable."""
-        sync_announce_all(self.gatekeepers)
         self._send_nops()
         self._commits_since_drain = 0
         return sum(shard.apply_available() for shard in self.shards)
@@ -263,20 +271,33 @@ class Weaver:
         frontier = (
             [(start, params)] if isinstance(start, str) else list(start)
         )
-        cache_entry_key = None
-        if use_cache and self.program_cache is not None:
-            first = frontier[0][0] if frontier else ""
-            key_tail = cache_key if cache_key is not None else repr(params)
-            cache_entry_key = ProgramCache.key(program.name, first, key_tail)
-            cached = self.program_cache.get(cache_entry_key)
-            if cached is not None:
-                return cached
         query_id = next(self._query_counter)
         trace_id = self.tracer.next_trace_id()
         self.tracer.emit(
             trace_id, "program.submit", node="client",
             query_id=query_id, program=program.name,
         )
+        cache_entry_key = None
+        if use_cache and self.program_cache is not None:
+            first = frontier[0][0] if frontier else ""
+            key_tail = cache_key if cache_key is not None else repr(params)
+            # Historical queries read a different cut of the graph; a
+            # current-time result must never serve an ``at=`` query (or
+            # vice versa), so the snapshot identity is part of the key.
+            if at is not None:
+                key_tail = (key_tail, at.id)
+            cache_entry_key = ProgramCache.key(program.name, first, key_tail)
+            cached = self.program_cache.get(cache_entry_key)
+            if cached is not None:
+                # A hit is still a client-observed run: count it and
+                # close the trace so `repro stats`/`repro trace` agree
+                # with what clients saw.
+                self.programs_run += 1
+                self.tracer.emit(
+                    trace_id, "program.complete", node="client",
+                    query_id=query_id, cache_hit=True,
+                )
+                return cached
         gk = self.gatekeepers[self._pick_gatekeeper()]
         ts = at if at is not None else gk.issue_timestamp()
         self.tracer.emit(
@@ -466,10 +487,19 @@ class Weaver:
         return ts
 
     def _make_shards_ready(self, ts: VectorTimestamp) -> None:
-        """Block (logically) until every shard may execute at ``ts``:
-        announce so later heartbeats dominate ``ts``, heartbeat so every
-        queue is non-empty, then apply all work ordered before ``ts``."""
-        sync_announce_all(self.gatekeepers)
+        """Block (logically) until every shard may execute at ``ts``.
+
+        Fast path first: when every shard can already execute at ``ts``
+        (all queues non-empty with heads ordered after ``ts``, typically
+        because a recent drain or program left fresh heartbeats behind),
+        skip the announce/NOP storm entirely.  Otherwise announce so
+        later heartbeats dominate ``ts``, heartbeat so every queue is
+        non-empty, then apply all work ordered before ``ts``.
+        """
+        if all(shard.advance_to(ts) for shard in self.shards):
+            self.executor.stats.readiness_fastpath_hits += 1
+            return
+        self.executor.stats.readiness_storms += 1
         self._send_nops()
         for shard in self.shards:
             if not shard.advance_to(ts):
@@ -477,20 +507,14 @@ class Weaver:
                     f"{shard.name} not ready for {ts} despite heartbeats"
                 )
 
-    def _resolver(self, ts: VectorTimestamp):
-        def resolve(handle: str):
-            shard_index = self._shard_of(handle)
-            if shard_index is None:
-                return None
-            shard = self.shards[shard_index]
-            shard.stats.vertices_read += 1
-            shard.ensure_paged(handle)
-            snapshot = shard.graph.at(ts, memo_stats=shard.ordering.stats)
-            if not snapshot.has_vertex(handle):
-                return None
-            return snapshot.vertex(handle)
-
-        return resolve
+    def _resolver(self, ts: VectorTimestamp) -> ShardSnapshotResolver:
+        return ShardSnapshotResolver(
+            ts,
+            self._shard_of,
+            self.shards,
+            stats=self.executor.stats,
+            page_in=True,
+        )
 
     # -- garbage collection (section 4.5) -----------------------------------
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-from ..core.vclock import VectorTimestamp
+from ..core.vclock import Ordering, VectorTimestamp
 from ..errors import NoSuchEdge, NoSuchVertex
 from .elements import Edge, Vertex
 from .properties import Comparator, MemoizedComparator, vclock_compare
@@ -272,12 +272,16 @@ class EdgeView:
 class VertexView:
     """A read-only vertex as seen by a snapshot."""
 
-    __slots__ = ("_vertex", "_ts", "_cmp", "prog_state")
+    __slots__ = ("_vertex", "_ts", "_cmp", "_edges", "prog_state")
 
     def __init__(self, vertex: Vertex, ts: VectorTimestamp, cmp: Comparator):
         self._vertex = vertex
         self._ts = ts
         self._cmp = cmp
+        # Visible-edge cache: the view is bound to one timestamp, so the
+        # edges_at scan is the same every time — neighbors/out_degree share
+        # one pass.  Safe within a query: programs read a fixed snapshot.
+        self._edges: Optional[tuple] = None
         # Per-query mutable state, installed by the node-program executor.
         self.prog_state: Any = None
 
@@ -285,16 +289,39 @@ class VertexView:
     def handle(self) -> str:
         return self._vertex.handle
 
+    def _visible_edges(self) -> tuple:
+        if self._edges is None:
+            # Inlined LifeSpan.visible_at: this scan runs once per vertex
+            # per traversal and the per-edge call chain dominates it.
+            ts = self._ts
+            cmp = self._cmp
+            before = Ordering.BEFORE
+            vertex = self._vertex
+            visible = []
+            for edge in vertex.edges.values():
+                span = edge.span
+                if cmp(span.created_at, ts) is not before:
+                    continue
+                deleted = span.deleted_at
+                if deleted is not None and cmp(deleted, ts) is before:
+                    continue
+                visible.append(edge)
+            for edge in vertex.archived_edges:
+                if edge.visible_at(ts, cmp):
+                    visible.append(edge)
+            self._edges = tuple(visible)
+        return self._edges
+
     @property
     def neighbors(self) -> List[EdgeView]:
         """Visible out-edges — paper's ``node.neighbors``."""
         return [
             EdgeView(edge, self._ts, self._cmp)
-            for edge in self._vertex.edges_at(self._ts, self._cmp)
+            for edge in self._visible_edges()
         ]
 
     def out_degree(self) -> int:
-        return sum(1 for _ in self._vertex.edges_at(self._ts, self._cmp))
+        return len(self._visible_edges())
 
     def get_edge(self, handle: str) -> Optional[EdgeView]:
         edge = self._vertex.visible_edge(handle, self._ts, self._cmp)
@@ -352,6 +379,14 @@ class SnapshotView:
         vertex = self._graph.visible_vertex(handle, self._ts, self._cmp)
         if vertex is None:
             raise NoSuchVertex(handle)
+        return VertexView(vertex, self._ts, self._cmp)
+
+    def try_vertex(self, handle: str) -> Optional[VertexView]:
+        """The view of ``handle``, or None — one visibility check where
+        ``has_vertex`` + ``vertex`` would pay two."""
+        vertex = self._graph.visible_vertex(handle, self._ts, self._cmp)
+        if vertex is None:
+            return None
         return VertexView(vertex, self._ts, self._cmp)
 
     def vertices(self) -> Iterator[VertexView]:

@@ -63,7 +63,9 @@ class MemoizedComparator:
         return len(self._memo)
 
     def __call__(self, a: VectorTimestamp, b: VectorTimestamp) -> Ordering:
-        key = (a.id, b.id)
+        # _id is the precomputed identity behind the ``id`` property;
+        # this is the hottest read path, so skip the descriptor.
+        key = (a._id, b._id)
         found = self._memo.get(key)
         if found is not None:
             self.hits += 1

@@ -47,6 +47,7 @@ def register_stats_collectors(
     gatekeepers: Optional[Callable[[], list]] = None,
     shards: Optional[Callable[[], list]] = None,
     network=None,
+    programs: Optional[Callable[[], object]] = None,
     extra: Optional[Callable[[], Dict[str, Number]]] = None,
 ) -> None:
     """Wire one deployment's stats objects into ``registry``.
@@ -54,6 +55,8 @@ def register_stats_collectors(
     ``gatekeepers`` and ``shards`` are zero-arg callables returning the
     *current* server lists — deployments replace servers on recovery,
     and collectors must follow the replacements, not the corpses.
+    ``programs`` is a zero-arg callable returning the program executor's
+    ``ProgramStats``, exported under ``program.*``.
     """
 
     if oracle is not None:
@@ -131,6 +134,16 @@ def register_stats_collectors(
             return out
 
         registry.register_collector(collect_network)
+
+    if programs is not None:
+
+        def collect_programs() -> Dict[str, Number]:
+            return {
+                f"program.{key}": value
+                for key, value in scalar_fields(programs()).items()
+            }
+
+        registry.register_collector(collect_programs)
 
     if extra is not None:
         registry.register_collector(extra)

@@ -1,6 +1,7 @@
 """Node programs: the read-only graph-analysis query layer."""
 
-from .framework import NodeProgram, ProgramExecutor, ProgramResult
+from .framework import NodeProgram, ProgramExecutor, ProgramResult, ProgramStats
+from .routing import ShardSnapshotResolver
 from .state import ProgramContext, WatermarkRegistry
 from .caching import ChangeTracker, ProgramCache
 from .analytics import (
@@ -37,6 +38,8 @@ __all__ = [
     "NodeProgram",
     "ProgramExecutor",
     "ProgramResult",
+    "ProgramStats",
+    "ShardSnapshotResolver",
     "ProgramContext",
     "WatermarkRegistry",
     "ChangeTracker",

@@ -8,16 +8,32 @@ reads the vertex's edges and attributes, may mutate its per-query
 pairs to visit next.  A vertex may be visited any number of times; the
 application directs all propagation.
 
-The executor is routing-agnostic: it pulls vertices through a ``resolve``
-callable supplied by the database layer, which is where shard routing and
-the wait-for-preceding-transactions logic live.  This keeps the engine
-testable against a bare in-memory graph.
+The executor is routing-agnostic: it pulls vertices through a resolver
+supplied by the database layer, which is where shard routing and the
+wait-for-preceding-transactions logic live.  This keeps the engine
+testable against a bare in-memory graph.  Two resolver shapes are
+supported:
+
+* a plain callable ``resolve(handle) -> Optional[VertexView]`` drives the
+  seed per-vertex loop (bare-graph tests, reference comparisons);
+* an object additionally exposing ``resolve_many(handles) -> dict``
+  (e.g. :class:`~repro.programs.routing.ShardSnapshotResolver`) switches
+  the executor to **round-based scatter-gather**: the frontier is
+  processed one BFS round at a time and each round's next-hops resolve as
+  one batch, which is what lets the routing layer group them by owning
+  shard and reuse one snapshot (and its comparison memo) per shard for
+  the whole traversal — the paper's shard-to-shard batch propagation.
+
+Both paths visit vertices in the same order and produce identical
+results: a round is exactly the contiguous run of same-depth entries the
+sequential deque would pop.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Iterable, Optional, Tuple
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.vclock import VectorTimestamp
 from ..errors import ProgramError
@@ -51,6 +67,13 @@ class NodeProgram:
     #: Stable name used for caching and reporting.
     name = "node_program"
 
+    #: Declares that revisiting a vertex with *identical params* in the
+    #: same round is a no-op (visited-bit traversals), so the executor may
+    #: drop same-round duplicate hops before resolving them.  Off by
+    #: default: the framework promises "a vertex may be visited any
+    #: number of times", and programs that emit per visit rely on it.
+    dedup_hops = False
+
     def init_state(self) -> Any:
         """A fresh per-vertex ``prog_state`` (default: None)."""
         return None
@@ -66,6 +89,34 @@ class NodeProgram:
         to skip it silently, which is what traversals want."""
 
 
+class ProgramStats:
+    """Counters for the scatter-gather execution pipeline.
+
+    Absorbed into the metrics registry under ``program.*`` (see
+    ``repro.obs.collect``).  The headline pair is ``snapshots_created``
+    vs ``snapshot_reuse_hits``: per query the batched path constructs
+    O(shards) snapshot views where the seed path constructed O(vertices
+    visited), and every resolution served by an already-built view counts
+    as one reuse hit.
+    """
+
+    def __init__(self) -> None:
+        self.executions = 0            # programs driven to completion
+        self.sequential_executions = 0  # via the per-vertex compat shim
+        self.batch_rounds = 0          # scatter-gather rounds processed
+        self.shard_batches = 0         # (shard, round) batch resolutions
+        self.vertices_resolved = 0     # resolutions through the batch path
+        self.snapshots_created = 0     # snapshot views built
+        self.snapshot_reuse_hits = 0   # resolutions on a reused view
+        self.dedup_hits = 0            # same-round duplicate hops dropped
+        self.round_messages_saved = 0  # per-vertex msgs a batch replaced
+        self.readiness_fastpath_hits = 0  # storms skipped: already ready
+        self.readiness_storms = 0      # announce+NOP storms performed
+
+    def reset(self) -> None:
+        self.__init__()
+
+
 class ProgramResult:
     """Outcome of one node-program execution."""
 
@@ -78,6 +129,7 @@ class ProgramResult:
         self.hops = ctx.hops
         self.halted = ctx.halted
         self.read_set = ctx.read_set
+        self.rounds = ctx.rounds
 
     @property
     def value(self) -> Any:
@@ -89,11 +141,46 @@ class ProgramResult:
         return self.results[0]
 
 
+def _params_key(params: Any) -> Optional[Hashable]:
+    """A value-equality key for hop params, or None when they defy
+    hashing.
+
+    Params are compared by *content*, not identity: BFS-style programs
+    mint a fresh namespace per parent, and the whole point of same-round
+    dedup is collapsing hops to one vertex from different parents at the
+    same depth.
+    """
+    if isinstance(params, SimpleNamespace):
+        # Attribute names are unique, so the sort never compares values.
+        items = tuple(sorted(vars(params).items()))
+        try:
+            hash(items)
+        except TypeError:
+            return None
+        return (True, items)
+    try:
+        hash(params)
+    except TypeError:
+        return None
+    return (False, params)
+
+
+def _hop_key(handle: str, params: Any) -> Optional[Hashable]:
+    """A value-equality key for one hop, or None when params defy
+    hashing (kept for direct use in tests; the executor's dedup pass
+    memoizes the params part by object identity)."""
+    pkey = _params_key(params)
+    if pkey is None:
+        return None
+    return (handle, pkey)
+
+
 class ProgramExecutor:
     """Breadth-first driver of a node program across the graph."""
 
     def __init__(self, max_visits: int = 10_000_000):
         self._max_visits = max_visits
+        self.stats = ProgramStats()
 
     def execute(
         self,
@@ -106,11 +193,133 @@ class ProgramExecutor:
         """Run ``program`` from the ``start`` frontier to completion.
 
         ``resolve(handle)`` returns the vertex view at the program's
-        snapshot, or None when the vertex is invisible there.  Propagation
-        ends when the frontier drains, the program halts, or the visit
-        budget (a runaway guard) is exhausted.
+        snapshot, or None when the vertex is invisible there; a resolver
+        exposing ``resolve_many`` gets the frontier one round at a time.
+        Propagation ends when the frontier drains, the program halts, or
+        the visit budget (a runaway guard) is exhausted.
         """
         ctx = ProgramContext(query_id, ts)
+        resolve_many = getattr(resolve, "resolve_many", None)
+        if resolve_many is None:
+            result = self._execute_sequential(program, start, resolve, ctx)
+        else:
+            result = self._execute_rounds(program, start, resolve_many, ctx)
+        self.stats.executions += 1
+        return result
+
+    # -- round-based scatter-gather (sections 2.3, 4.1) -------------------
+
+    def _execute_rounds(
+        self,
+        program: NodeProgram,
+        start: Iterable[Tuple[str, Any]],
+        resolve_many,
+        ctx: ProgramContext,
+    ) -> ProgramResult:
+        frontier: List[Tuple[str, Any]] = list(start)
+        visits = 0
+        max_visits = self._max_visits
+        dedup = program.dedup_hops
+        run = program.run
+        on_missing = program.on_missing
+        init_state = program.init_state
+        read_set_add = ctx.read_set.add
+        state_for = ctx.state_for
+        while frontier and not ctx.halted:
+            if dedup:
+                frontier = self._dedup_round(frontier)
+            ctx.rounds += 1
+            self.stats.batch_rounds += 1
+            views = resolve_many([handle for handle, _ in frontier])
+            views_get = views.get
+            next_frontier: List[Tuple[str, Any]] = []
+            append = next_frontier.append
+            round_hops = 0
+            for handle, params in frontier:
+                if visits >= max_visits:
+                    raise ProgramError(
+                        f"visit budget exhausted ({max_visits})"
+                    )
+                visits += 1
+                read_set_add(handle)
+                node = views_get(handle)
+                if node is None:
+                    on_missing(handle, params, ctx)
+                    continue
+                node.prog_state = state_for(handle, init_state)
+                ctx.vertices_visited += 1
+                hops = run(node, params, ctx)
+                if hops is not None:
+                    for hop in hops:
+                        if (
+                            not isinstance(hop, tuple)
+                            or len(hop) != 2
+                            or not isinstance(hop[0], str)
+                        ):
+                            raise ProgramError(
+                                f"{program.name} returned a bad "
+                                f"next-hop: {hop!r}"
+                            )
+                        round_hops += 1
+                        append(hop)
+                if ctx.halted:
+                    break
+            ctx.hops += round_hops
+            frontier = next_frontier
+        return ProgramResult(ctx)
+
+    def _dedup_round(
+        self, frontier: List[Tuple[str, Any]]
+    ) -> List[Tuple[str, Any]]:
+        """Drop same-round repeats of one (vertex, params) hop.
+
+        Only for programs declaring ``dedup_hops``; hops whose params
+        resist value-hashing pass through untouched.
+        """
+        seen: set = set()
+        kept: List[Tuple[str, Any]] = []
+        # Params content keys memoized by object identity: one program
+        # run emits many hops sharing one params object, and the ids
+        # stay unique for the pass because ``frontier`` keeps every
+        # object alive.  Distinct contents are interned to small ints so
+        # the seen-set hashes (handle, int) pairs, not nested tuples.
+        param_key_ids: Dict[int, Optional[int]] = {}
+        interned: Dict[Hashable, int] = {}
+        missing = param_key_ids.get
+        dropped = 0
+        for hop in frontier:
+            params = hop[1]
+            pid = id(params)
+            kid = missing(pid, -1)
+            if kid == -1:
+                pkey = _params_key(params)
+                if pkey is None:
+                    kid = None
+                else:
+                    kid = interned.setdefault(pkey, len(interned))
+                param_key_ids[pid] = kid
+            if kid is None:
+                kept.append(hop)
+                continue
+            key = (hop[0], kid)
+            if key in seen:
+                dropped += 1
+            else:
+                seen.add(key)
+                kept.append(hop)
+        self.stats.dedup_hits += dropped
+        return kept
+
+    # -- the seed per-vertex loop (compatibility shim) --------------------
+
+    def _execute_sequential(
+        self,
+        program: NodeProgram,
+        start: Iterable[Tuple[str, Any]],
+        resolve: Resolver,
+        ctx: ProgramContext,
+    ) -> ProgramResult:
+        self.stats.sequential_executions += 1
         frontier = deque(start)
         visits = 0
         while frontier and not ctx.halted:

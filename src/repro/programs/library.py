@@ -76,6 +76,9 @@ class Bfs(NodeProgram):
     """
 
     name = "bfs"
+    # Revisits are no-ops (visited bit), so same-round duplicate hops
+    # with identical params can be dropped before resolution.
+    dedup_hops = True
 
     def init_state(self):
         return SimpleNamespace(visited=False)
@@ -106,6 +109,7 @@ class Reachability(NodeProgram):
     an empty result set means unreachable (Fig 11's workload)."""
 
     name = "reachability"
+    dedup_hops = True
 
     def init_state(self):
         return SimpleNamespace(visited=False)
@@ -129,6 +133,7 @@ class ShortestPath(NodeProgram):
     """
 
     name = "shortest_path"
+    dedup_hops = True
 
     def init_state(self):
         return SimpleNamespace(dist=None)
@@ -155,6 +160,9 @@ class PathDiscovery(NodeProgram):
     """
 
     name = "path_discovery"
+    # Duplicate (vertex, params) hops imply identical inbound paths;
+    # dropping them cannot change which path is discovered first.
+    dedup_hops = True
 
     def init_state(self):
         return SimpleNamespace(visited=False)
@@ -252,6 +260,7 @@ class CollectReachable(NodeProgram):
     style exploration; used by taint-tracking-like analyses)."""
 
     name = "collect_reachable"
+    dedup_hops = True
 
     def init_state(self):
         return SimpleNamespace(visited=False)

@@ -34,6 +34,8 @@ class ProgramContext:
         self.halted = False
         self.vertices_visited = 0
         self.hops = 0
+        # Scatter-gather rounds driven (0 on the sequential shim path).
+        self.rounds = 0
         # Every vertex handle the program touched (visible or not): the
         # cache's read set for change-based invalidation (section 4.6).
         self.read_set: set = set()

@@ -39,6 +39,7 @@ from ..db.operations import Operation, touched_vertices
 from ..errors import TransactionAborted
 from ..obs import MetricsRegistry, Tracer, register_stats_collectors
 from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
+from ..programs.routing import ShardSnapshotResolver
 from ..store.kvstore import TransactionalStore
 from ..store.mapping import ShardMapping
 from .clock import USEC
@@ -193,6 +194,7 @@ class SimulatedWeaver:
             gatekeepers=lambda: self.gatekeepers,
             shards=lambda: self.shards,
             network=self.network,
+            programs=lambda: self.executor.stats,
             extra=self._sim_metrics,
         )
         self.latency_tx = self.metrics.histogram("latency.tx_commit")
@@ -653,10 +655,11 @@ class SimulatedWeaver:
         for entry in self._pending_programs:
             ts, frontier, program, query_id, callback, submitted, tid = entry
             if all(shard.advance_to(ts) for shard in self.shards):
+                resolver = self._resolver(ts)
                 result = self.executor.execute(
-                    program, frontier, self._resolver(ts), ts, query_id
+                    program, frontier, resolver, ts, query_id
                 )
-                completion = self._charge_program_reads(result)
+                completion = self._charge_program_reads(result, resolver)
                 if completion <= self.simulator.now:
                     self._finish_program(result, submitted, callback, tid)
                 else:
@@ -669,17 +672,35 @@ class SimulatedWeaver:
                 still_waiting.append(entry)
         self._pending_programs = still_waiting
 
-    def _charge_program_reads(self, result) -> float:
+    def _charge_program_reads(self, result, resolver=None) -> float:
         """Occupy the shards a program read; returns its completion time
-        (now, when no cost model is attached)."""
+        (now, when no cost model is attached).
+
+        With a batching resolver (one that recorded ``shard_rounds``),
+        inter-shard communication is charged per (shard, round): each
+        batch pays one message-handling cost plus per-vertex read service
+        — the paper's shard-to-shard batch propagation, instead of one
+        message per vertex.  Without round data (the seed per-vertex
+        path), fall back to charging each read-set vertex individually.
+        """
         if self.costs is None:
             return self.simulator.now
+        completion = self.simulator.now
+        shard_rounds = getattr(resolver, "shard_rounds", None)
+        if shard_rounds:
+            for round_counts in shard_rounds:
+                for shard_index, count in round_counts.items():
+                    done = self._shard_servers[shard_index].occupy(
+                        self.costs.shard_op_service
+                        + count * self.costs.vertex_read_service
+                    )
+                    completion = max(completion, done)
+            return completion
         per_shard: Dict[int, int] = {}
         for handle in result.read_set:
             shard_index = self.mapping.lookup(handle)
             if shard_index is not None:
                 per_shard[shard_index] = per_shard.get(shard_index, 0) + 1
-        completion = self.simulator.now
         for shard_index, count in per_shard.items():
             done = self._shard_servers[shard_index].occupy(
                 count * self.costs.vertex_read_service
@@ -700,19 +721,13 @@ class SimulatedWeaver:
         if callback is not None:
             callback(result)
 
-    def _resolver(self, ts: VectorTimestamp):
-        def resolve(handle: str):
-            shard_index = self.mapping.lookup(handle)
-            if shard_index is None:
-                return None
-            shard = self.shards[shard_index]
-            shard.stats.vertices_read += 1
-            snapshot = shard.graph.at(ts)
-            if not snapshot.has_vertex(handle):
-                return None
-            return snapshot.vertex(handle)
-
-        return resolve
+    def _resolver(self, ts: VectorTimestamp) -> ShardSnapshotResolver:
+        return ShardSnapshotResolver(
+            ts,
+            self.mapping.lookup,
+            self.shards,
+            stats=self.executor.stats,
+        )
 
     # -- driving -------------------------------------------------------
 

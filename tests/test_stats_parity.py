@@ -160,6 +160,17 @@ GOLDEN_DIRECT_METRICS = frozenset({
     "ordering.proactive",
     "ordering.reactive",
     "ordering.snapshot_memo_hits",
+    "program.batch_rounds",
+    "program.dedup_hits",
+    "program.executions",
+    "program.readiness_fastpath_hits",
+    "program.readiness_storms",
+    "program.round_messages_saved",
+    "program.sequential_executions",
+    "program.shard_batches",
+    "program.snapshot_reuse_hits",
+    "program.snapshots_created",
+    "program.vertices_resolved",
     "shard.duplicates_discarded",
     "shard.local_tiebreaks",
     "shard.nops_applied",

@@ -35,6 +35,7 @@ ABSORBED = {
     "ShardStats": "shard.*",
     "OrderingStats": "ordering.*",
     "NetworkStats": "network.*",
+    "ProgramStats": "program.*",
 }
 
 # Deliberately outside the registry, with the reason on record.
