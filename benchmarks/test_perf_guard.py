@@ -87,6 +87,35 @@ def test_batched_structural_counters():
     assert batched["snapshot_reuse_hits"] > 0
 
 
+def test_transport_structural_counters():
+    """The process transport must keep its structural wins: enqueues ride
+    multi-message frames (batching) and multi-shard resolve fan-outs
+    overlap in flight (pipelining) — counts, not wall clock, so the
+    guard holds on single-core CI machines too."""
+    from repro.cluster.process import ProcessWeaver
+    from repro.db.config import WeaverConfig
+    from repro.programs.library import CollectReachable
+
+    with ProcessWeaver(WeaverConfig(num_shards=2)) as db:
+        tx = db.begin_transaction()
+        handles = [tx.create_vertex(f"t{i}") for i in range(40)]
+        for i in range(1, 40):
+            tx.create_edge(handles[(i - 1) // 2], handles[i])
+        tx.commit()
+        db.drain()
+        db.run_program(CollectReachable(), handles[0])
+        snap = db.metrics.snapshot()
+    assert snap["transport.bytes_sent"] > 0
+    assert snap["transport.bytes_received"] > 0
+    # Enqueues buffered per channel and flushed as one frame: strictly
+    # fewer frames than logical messages.
+    assert snap["transport.batched_messages"] > 0
+    assert snap["transport.frames_sent"] < snap["transport.messages_sent"]
+    # The per-round resolve fan-out writes every request before reading
+    # any reply, so requests overlap whenever >1 shard is involved.
+    assert snap["transport.requests_pipelined"] > 0
+
+
 def test_readiness_fastpath_skips_second_storm():
     """Re-running at an already-served timestamp skips the NOP storm."""
     db, handles = build_database(num_vertices=60, avg_degree=4)

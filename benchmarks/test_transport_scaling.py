@@ -1,0 +1,62 @@
+"""Fig 13-style shard scaling over the real multiprocess transport.
+
+Runs the same seeded graph + query batch at 1/2/4 shard worker
+processes, checks every run's results against the deterministic
+simulated twin, and records the result as ``BENCH_transport.json`` at
+the repo root.
+
+The scaling bar (>1.8x from 1 to 4 workers) is asserted only on hosts
+with at least 4 CPU cores: worker processes can only overlap on real
+parallel hardware, and the recorded ``cpu_count`` makes the context of
+every archived number explicit.  Twin parity (``results_equal``) is
+asserted unconditionally — correctness does not depend on core count.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.bench.transport_bench import scaling_experiment
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SHARD_COUNTS = (1, 2, 4)
+SCALING_BAR = 1.8
+
+
+def test_transport_shard_scaling(show):
+    result = scaling_experiment(shard_counts=SHARD_COUNTS)
+    (REPO_ROOT / "BENCH_transport.json").write_text(
+        json.dumps(result, indent=2) + "\n"
+    )
+    show(
+        "Process transport: traversal throughput vs worker count",
+        headers=["workers", "queries/s", "pipelined", "bytes sent"],
+        rows=[
+            [
+                p["shards"],
+                round(p["throughput_qps"], 1),
+                p["transport"]["requests_pipelined"],
+                p["transport"]["bytes_sent"],
+            ]
+            for p in result["points"]
+        ],
+        lines=[
+            f"cpu_count: {result['cpu_count']}",
+            f"scaling 1→{SHARD_COUNTS[-1]}: {result['scaling']:.2f}x",
+            f"results_equal vs simulated twin: {result['results_equal']}",
+        ],
+    )
+    assert result["results_equal"], (
+        "process-transport results diverged from the simulated twin"
+    )
+    for point in result["points"]:
+        assert point["transport"]["batched_messages"] > 0
+    multi = [p for p in result["points"] if p["shards"] > 1]
+    assert all(p["transport"]["requests_pipelined"] > 0 for p in multi)
+    if (os.cpu_count() or 1) >= 4:
+        assert result["scaling"] > SCALING_BAR, (
+            f"throughput scaled only {result['scaling']:.2f}x from "
+            f"{SHARD_COUNTS[0]} to {SHARD_COUNTS[-1]} workers "
+            f"(need > {SCALING_BAR}x on a {os.cpu_count()}-core host)"
+        )

@@ -64,11 +64,18 @@ class AnnounceMessage:
 
 @dataclass(frozen=True)
 class ProgramRequest:
-    """A node program dispatched to a shard (section 4.1)."""
+    """A node program dispatched to a shard (section 4.1).
+
+    ``trace_id`` is carried explicitly so shard-side spans attribute to
+    the submitting client's trace even across a process boundary, where
+    no ambient context survives — ``repro trace`` chains must assemble
+    identically under the in-process and multiprocess transports.
+    """
 
     ts: VectorTimestamp
     query_id: int
     vertices: Tuple[Tuple[str, Any], ...]  # (vertex handle, prog params)
+    trace_id: Optional[int] = None
 
 
 @dataclass

@@ -1,0 +1,666 @@
+"""The real multiprocess Weaver deployment.
+
+:class:`ProcessWeaver` is the concurrent counterpart of the in-process
+:class:`~repro.db.database.Weaver` and the deterministic
+:class:`~repro.sim.deployment.SimulatedWeaver` — same parts from the
+same :func:`~repro.cluster.builder.build_cluster`, but every shard
+server and the timeline oracle run as separate OS processes speaking
+length-prefixed :mod:`~repro.cluster.wire` frames over UNIX sockets
+(:class:`~repro.cluster.transport.ProcessTransport`).
+
+Division of labour per node program:
+
+* the **client process** keeps the gatekeepers, the backing store, and
+  the real :class:`~repro.programs.framework.ProgramExecutor` — program
+  logic runs here, on plain vertex images, with exactly the sequential
+  semantics (halt, dedup, per-vertex state) of the other deployments;
+* each **shard worker** owns the multi-version partition and serves
+  batch vertex *resolution*: the expensive visibility work (refinable
+  timestamp comparisons over property and edge version chains) runs in
+  the workers, in parallel across shards, because the client writes one
+  pipelined ``resolve`` request per shard per round before reading any
+  reply.
+
+That split is what the Fig 13-style scaling benchmark measures: adding
+worker processes adds resolution throughput while results stay
+byte-identical to the simulated twin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import socket
+import tempfile
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.gatekeeper import Gatekeeper, sync_announce_all
+from ..core.vclock import VectorTimestamp
+from ..db.config import WeaverConfig
+from ..db.operations import graph_state_from_store
+from ..db.transactions import Transaction
+from ..errors import ClusterError, NoSuchVertex
+from ..programs.framework import NodeProgram, ProgramResult
+from ..programs.state import WatermarkRegistry
+from .builder import build_cluster
+from .messages import ProgramRequest, QueuedTransaction
+from .transport import ProcessTransport, TransportError
+from .worker import OracleProxy, oracle_worker_main, shard_worker_main
+
+import dataclasses
+
+StartSpec = Any
+
+
+# -- remote vertex views -------------------------------------------------
+
+
+class RemoteEdgeView:
+    """A visible out-edge decoded from a worker's vertex image.
+
+    Duck-types :class:`~repro.graph.mvgraph.EdgeView`: the worker already
+    resolved visibility at the program timestamp, so properties are a
+    plain dict here.
+    """
+
+    __slots__ = ("handle", "src", "nbr", "_props")
+
+    def __init__(self, handle: str, src: str, nbr: str, props: dict):
+        self.handle = handle
+        self.src = src
+        self.nbr = nbr
+        self._props = props
+
+    @property
+    def dst(self) -> str:
+        return self.nbr
+
+    def check(self, key: str, value: Any = None) -> bool:
+        if key not in self._props:
+            return False
+        return value is None or self._props[key] == value
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._props.get(key, default)
+
+    def properties(self) -> dict:
+        return dict(self._props)
+
+
+class RemoteVertexView:
+    """A visible vertex decoded from a worker's image — what the
+    client-side executor hands to ``program.run``."""
+
+    __slots__ = ("handle", "_props", "_edges", "prog_state")
+
+    def __init__(self, image: dict):
+        self.handle = image["handle"]
+        self._props = image["properties"]
+        self._edges = [
+            RemoteEdgeView(handle, self.handle, nbr, props)
+            for handle, nbr, props in image["edges"]
+        ]
+        self.prog_state: Any = None
+
+    @property
+    def neighbors(self) -> List[RemoteEdgeView]:
+        return list(self._edges)
+
+    def out_degree(self) -> int:
+        return len(self._edges)
+
+    def get_edge(self, handle: str) -> Optional[RemoteEdgeView]:
+        for edge in self._edges:
+            if edge.handle == handle:
+                return edge
+        return None
+
+    def get_property(self, key: str, default: Any = None) -> Any:
+        return self._props.get(key, default)
+
+    def check(self, key: str, value: Any = None) -> bool:
+        if key not in self._props:
+            return False
+        return value is None or self._props[key] == value
+
+    def properties(self) -> dict:
+        return dict(self._props)
+
+
+class ProcessShardResolver:
+    """The executor's resolver over worker processes.
+
+    ``resolve_many`` groups one round's frontier by owning shard and
+    issues one pipelined ``resolve`` request per shard — every request
+    is written before any reply is read, so workers run their share of
+    the round concurrently.  Workers keep one snapshot view per (query,
+    shard) across rounds (their ``fresh`` flag tells the client when the
+    snapshot construction was actually paid); the client keeps a
+    per-query vertex cache so cross-round revisits cost no request.
+    """
+
+    def __init__(self, db: "ProcessWeaver", ts: VectorTimestamp,
+                 query_id: int, trace_id: Optional[int]):
+        self._db = db
+        self._ts = ts
+        self._query_id = query_id
+        self._trace_id = trace_id
+        self._vertices: Dict[str, Optional[RemoteVertexView]] = {}
+        #: Shard indices holding a snapshot for this query (told fresh).
+        self.shards_touched: set = set()
+        self.shard_rounds: List[Dict[int, int]] = []
+
+    @property
+    def timestamp(self) -> VectorTimestamp:
+        return self._ts
+
+    def resolve_many(
+        self, handles: Iterable[str]
+    ) -> Dict[str, Optional[RemoteVertexView]]:
+        db = self._db
+        stats = db.executor.stats
+        out: Dict[str, Optional[RemoteVertexView]] = {}
+        per_shard: Dict[int, List[str]] = {}
+        cache = self._vertices
+        cache_hits = 0
+        for handle in handles:
+            if handle in out:
+                continue
+            if handle in cache:
+                out[handle] = cache[handle]
+                cache_hits += 1
+                continue
+            out[handle] = None
+            shard_index = db._shard_of(handle)
+            if shard_index is not None:
+                per_shard.setdefault(shard_index, []).append(handle)
+        round_counts: Dict[int, int] = {}
+        order = sorted(per_shard)
+        calls = [
+            (
+                db.shard_name(shard_index),
+                "resolve",
+                ProgramRequest(
+                    self._ts,
+                    self._query_id,
+                    tuple((h, None) for h in per_shard[shard_index]),
+                    self._trace_id,
+                ),
+            )
+            for shard_index in order
+        ]
+        replies = db.transport.request_all("client", calls)
+        for shard_index, reply in zip(order, replies):
+            batch = per_shard[shard_index]
+            self.shards_touched.add(shard_index)
+            fresh = reply["fresh"]
+            if fresh:
+                stats.snapshots_created += 1
+            for handle in batch:
+                image = reply["images"].get(handle)
+                node = None if image is None else RemoteVertexView(image)
+                cache[handle] = node
+                out[handle] = node
+            round_counts[shard_index] = len(batch)
+            stats.shard_batches += 1
+            stats.vertices_resolved += len(batch)
+            stats.snapshot_reuse_hits += len(batch) - (1 if fresh else 0)
+            stats.round_messages_saved += len(batch) - 1
+        if round_counts:
+            self.shard_rounds.append(round_counts)
+        if cache_hits:
+            stats.vertices_resolved += cache_hits
+            stats.snapshot_reuse_hits += cache_hits
+            stats.round_messages_saved += cache_hits
+        return out
+
+    def __call__(self, handle: str) -> Optional[RemoteVertexView]:
+        return self.resolve_many([handle])[handle]
+
+
+# -- the deployment -------------------------------------------------------
+
+
+class ProcessWeaver:
+    """A Weaver deployment whose shards and oracle are OS processes."""
+
+    def __init__(self, config: Optional[WeaverConfig] = None):
+        try:
+            self._mp = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise ClusterError(
+                "process deployment requires the fork start method"
+            ) from exc
+        self.transport = ProcessTransport()
+        self._tmpdir = tempfile.mkdtemp(prefix="weaver-")
+        self._oracle_path = os.path.join(self._tmpdir, "oracle.sock")
+        # Bind + listen before forking: connects succeed via the backlog
+        # no matter when the oracle process reaches accept().
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self._oracle_path)
+        listener.listen(16)
+        self._oracle_proc = self._mp.Process(
+            target=oracle_worker_main, args=(listener,), daemon=True
+        )
+        self._oracle_proc.start()
+        listener.close()
+        self.oracle = OracleProxy(self._oracle_path)
+
+        parts = build_cluster(
+            config,
+            oracle=self.oracle,
+            with_shards=False,
+            transport_stats=self.transport.stats,
+            extra=self._process_metrics,
+        )
+        self.parts = parts
+        self.config = parts.config
+        cfg = self.config
+        self.store = parts.store
+        self.mapping = parts.mapping
+        self.gatekeepers: List[Gatekeeper] = parts.gatekeepers
+        self.manager = parts.manager
+        self.executor = parts.executor
+        self.metrics = parts.metrics
+        self.tracer = parts.tracer
+        self.transport._registry = self.metrics
+        self.transport.register("client", self._on_worker_events)
+        self.watermarks = WatermarkRegistry(cmp=lambda a, b: a.compare(b))
+
+        self._procs: Dict[int, Any] = {}
+        for index in range(cfg.num_shards):
+            self._spawn_worker(index)
+
+        self._handle_counter = itertools.count()
+        self._query_counter = itertools.count(1)
+        self._next_gk = itertools.count()
+        self._send_rank = itertools.count()
+        self._commits = 0
+        self._commits_since_drain = 0
+        self._channel_seqno: Dict[Tuple[int, int], int] = {}
+        self._placement: Dict[str, int] = {}
+        self._epoch = 0
+        self.recoveries = 0
+        self.programs_run = 0
+        self._closed = False
+
+    # -- workers --------------------------------------------------------
+
+    @staticmethod
+    def shard_name(index: int) -> str:
+        return f"shard{index}"
+
+    def _spawn_worker(
+        self,
+        index: int,
+        epoch: int = 0,
+        image: Optional[tuple] = None,
+        recovery_ts: Optional[VectorTimestamp] = None,
+    ) -> None:
+        parent_sock, child_sock = socket.socketpair(
+            socket.AF_UNIX, socket.SOCK_STREAM
+        )
+        proc = self._mp.Process(
+            target=shard_worker_main,
+            args=(
+                child_sock,
+                index,
+                self.config.num_gatekeepers,
+                self.config.use_ordering_cache,
+                self._oracle_path,
+                epoch,
+                image,
+                recovery_ts,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_sock.close()
+        self._procs[index] = proc
+        self.transport.add_channel(self.shard_name(index), parent_sock)
+
+    def _on_worker_events(self, src: str, kind: str, events) -> None:
+        """Replay worker-side spans (ridden on reply frames) into the
+        client tracer under their original trace ids — `repro trace`
+        chains then assemble identically to the in-process deployments."""
+        for trace_id, span_kind, node, attrs in events:
+            self.tracer.emit(trace_id, span_kind, node=node, **attrs)
+
+    def _live_shards(self) -> List[int]:
+        names = set(self.transport.channels())
+        return [
+            i for i in range(self.config.num_shards)
+            if self.shard_name(i) in names
+        ]
+
+    def _request_all_shards(self, kind: str, payload: Any) -> List[Any]:
+        calls = [
+            (self.shard_name(i), kind, payload) for i in self._live_shards()
+        ]
+        return self.transport.request_all("client", calls)
+
+    # -- identifiers ----------------------------------------------------
+
+    def new_handle(self, prefix: str = "v") -> str:
+        return f"{prefix}{next(self._handle_counter)}"
+
+    def _pick_gatekeeper(self) -> int:
+        return next(self._next_gk) % len(self.gatekeepers)
+
+    # -- transactions ---------------------------------------------------
+
+    def begin_transaction(
+        self, gatekeeper: Optional[int] = None
+    ) -> Transaction:
+        index = (
+            gatekeeper if gatekeeper is not None else self._pick_gatekeeper()
+        )
+        if not 0 <= index < len(self.gatekeepers):
+            raise ClusterError(f"no gatekeeper {index}")
+        tx = Transaction(self, index)
+        tx.trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            tx.trace_id, "client.submit", node="client", gk=index
+        )
+        return tx
+
+    def _commit_transaction(self, tx: Transaction) -> VectorTimestamp:
+        gk = self.gatekeepers[tx.gatekeeper_index]
+        for vertex in tx.created_vertices:
+            self._placement[vertex] = self.mapping.assign(
+                vertex, tx=tx.store_tx
+            )
+        ts = gk.commit_prepared(
+            tx.store_tx, tx.touched_vertices, trace_id=tx.trace_id
+        )
+        per_shard: Dict[int, List] = {}
+        for op in tx.operations:
+            (owner,) = op.touched()
+            shard = self._shard_of(owner)
+            if shard is None:
+                raise NoSuchVertex(owner)
+            per_shard.setdefault(shard, []).append(op)
+        for shard_index, ops_list in per_shard.items():
+            self._enqueue(
+                gk.index,
+                shard_index,
+                QueuedTransaction(ts, tuple(ops_list), trace_id=tx.trace_id),
+            )
+        self._commits += 1
+        if self._commits % self.config.announce_every == 0:
+            sync_announce_all(self.gatekeepers)
+        self._commits_since_drain += 1
+        if self._commits_since_drain >= self.config.drain_every:
+            self.drain()
+        return ts
+
+    def _shard_of(self, vertex: str) -> Optional[int]:
+        shard = self._placement.get(vertex)
+        if shard is None:
+            shard = self.mapping.lookup(vertex)
+            if shard is not None:
+                self._placement[vertex] = shard
+        return shard
+
+    def _enqueue(
+        self, gk_index: int, shard_index: int, qtx: QueuedTransaction
+    ) -> None:
+        """Stamp the channel seqno and buffer the enqueue on the worker's
+        socket; the transport flushes it (batched with its channel-mates)
+        before the next request on that channel, preserving FIFO."""
+        channel = (gk_index, shard_index)
+        seqno = self._channel_seqno.get(channel, 0)
+        self._channel_seqno[channel] = seqno + 1
+        stamped = dataclasses.replace(
+            qtx, seqno=seqno, tiebreak=next(self._send_rank)
+        )
+        self.transport.send(
+            self.gatekeepers[gk_index].name,
+            self.shard_name(shard_index),
+            "enqueue",
+            (gk_index, stamped),
+        )
+
+    # -- queue pumping --------------------------------------------------
+
+    def _send_nops(self) -> None:
+        """One NOP from every gatekeeper to every shard, vector-clock
+        chained exactly like the direct deployment's (the announce
+        rounds run client-side; only the enqueues cross the wire)."""
+        sync_announce_all(self.gatekeepers)
+        previous: Optional[VectorTimestamp] = None
+        live = self._live_shards()
+        for gk in self.gatekeepers:
+            if previous is not None:
+                gk.receive_announce(previous.clocks)
+            nop_ts = gk.make_nop()
+            previous = nop_ts
+            for shard_index in live:
+                self._enqueue(gk.index, shard_index, QueuedTransaction(nop_ts))
+        sync_announce_all(self.gatekeepers)
+
+    def drain(self) -> int:
+        """Heartbeat every queue, then apply everything applicable on
+        every worker (one pipelined fan-out)."""
+        self._send_nops()
+        self._commits_since_drain = 0
+        return sum(self._request_all_shards("drain", None))
+
+    # -- node programs --------------------------------------------------
+
+    def _make_shards_ready(self, ts: VectorTimestamp) -> None:
+        stats = self.executor.stats
+        if all(self._request_all_shards("advance_to", ts)):
+            stats.readiness_fastpath_hits += 1
+            return
+        stats.readiness_storms += 1
+        self._send_nops()
+        ready = self._request_all_shards("advance_to", ts)
+        if not all(ready):
+            bad = [
+                self.shard_name(i)
+                for i, ok in zip(self._live_shards(), ready)
+                if not ok
+            ]
+            raise ClusterError(
+                f"{bad} not ready for {ts} despite heartbeats"
+            )
+
+    def run_program(
+        self,
+        program: NodeProgram,
+        start: StartSpec,
+        params: Any = None,
+        at: Optional[VectorTimestamp] = None,
+    ) -> ProgramResult:
+        """Execute a node program on a consistent snapshot, resolving
+        vertices through the worker processes."""
+        frontier = (
+            [(start, params)] if isinstance(start, str) else list(start)
+        )
+        query_id = next(self._query_counter)
+        trace_id = self.tracer.next_trace_id()
+        self.tracer.emit(
+            trace_id, "program.submit", node="client",
+            query_id=query_id, program=program.name,
+        )
+        gk = self.gatekeepers[self._pick_gatekeeper()]
+        ts = at if at is not None else gk.issue_timestamp()
+        self.tracer.emit(
+            trace_id, "program.stamp", node=gk.name,
+            ts=ts, query_id=query_id,
+        )
+        self._make_shards_ready(ts)
+        self.watermarks.start(query_id, ts)
+        resolver = ProcessShardResolver(self, ts, query_id, trace_id)
+        try:
+            result = self.executor.execute(
+                program, frontier, resolver, ts, query_id
+            )
+        finally:
+            self.watermarks.finish(query_id)
+            # One-way: workers drop their per-query snapshot views.
+            for shard_index in resolver.shards_touched:
+                self.transport.send(
+                    "client", self.shard_name(shard_index),
+                    "finish", query_id,
+                )
+        self.programs_run += 1
+        self.tracer.emit(
+            trace_id, "program.complete", node="client", query_id=query_id
+        )
+        return result
+
+    def checkpoint(self) -> VectorTimestamp:
+        sync_announce_all(self.gatekeepers)
+        ts = self.gatekeepers[self._pick_gatekeeper()].issue_timestamp()
+        sync_announce_all(self.gatekeepers)
+        return ts
+
+    # -- garbage collection ---------------------------------------------
+
+    def collect_garbage(self) -> Dict[str, int]:
+        sync_announce_all(self.gatekeepers)
+        fallback = self.gatekeepers[0].current_watermark()
+        watermark = self.watermarks.watermark(fallback)
+        if watermark is None:
+            return {"graph": 0, "oracle": 0}
+        self.drain()
+        graph_reclaimed = sum(
+            self._request_all_shards("collect_below", watermark)
+        )
+        oracle_reclaimed = self.oracle.collect_below(watermark)
+        return {"graph": graph_reclaimed, "oracle": oracle_reclaimed}
+
+    # -- failure handling -----------------------------------------------
+
+    def kill_shard_worker(self, index: int) -> None:
+        """SIGKILL one shard worker mid-flight (chaos testing)."""
+        proc = self._procs.get(index)
+        if proc is None or not proc.is_alive():
+            raise ClusterError(f"no live worker for shard {index}")
+        proc.kill()
+        proc.join(timeout=10)
+
+    def recover_shard(self, index: int) -> None:
+        """Replace a dead worker: epoch barrier on the survivors, then a
+        fresh process reloading the partition from the backing store.
+
+        Buffered messages to the dead worker are discarded with its
+        channel — their effects are already durable in the store the
+        replacement reloads from.
+        """
+        name = self.shard_name(index)
+        self.transport.remove_channel(name)
+        proc = self._procs.pop(index, None)
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=10)
+        # Epoch barrier: gatekeepers restart their clocks in the new
+        # epoch; survivors flush queued work and re-baseline seqnos.
+        # (The manager has no local shard servers here — the workers ARE
+        # the shards, reached by RPC below.)
+        self._epoch = self.manager.advance_epoch()
+        self.transport.flush()
+        self._request_all_shards("advance_epoch", self._epoch)
+        self._channel_seqno.clear()
+        recovery_ts = self.gatekeepers[0].issue_timestamp()
+        placement = {v: s for v, s in self.mapping.items()}
+        vertices, edges = graph_state_from_store(self.store.snapshot())
+        image = (
+            {
+                h: props for h, props in vertices.items()
+                if placement.get(h) == index
+            },
+            {
+                key: record for key, record in edges.items()
+                if placement.get(key[0]) == index
+            },
+        )
+        self._spawn_worker(
+            index, epoch=self._epoch, image=image, recovery_ts=recovery_ts
+        )
+        self.recoveries += 1
+
+    # -- statistics ------------------------------------------------------
+
+    def _process_metrics(self) -> Dict[str, float]:
+        """Aggregate worker-side shard/ordering counters over RPC, under
+        the same dotted names the in-process deployments export."""
+        out: Dict[str, float] = {
+            "process.workers": len(self._live_shards()),
+            "process.recoveries": self.recoveries,
+        }
+        if self._closed:
+            return out
+        try:
+            replies = self._request_all_shards("stats", None)
+        except TransportError:
+            return out
+        stragglers = 0
+        cache_hits = cache_misses = cache_entries = 0
+        for snap in replies:
+            for key, value in snap["shard"].items():
+                out_key = f"shard.{key}"
+                out[out_key] = out.get(out_key, 0) + value
+            for key, value in snap["ordering"].items():
+                out_key = f"ordering.{key}"
+                out[out_key] = out.get(out_key, 0) + value
+            stragglers += snap["stragglers_dropped"]
+            hits, misses, entries = snap["cache"]
+            cache_hits += hits
+            cache_misses += misses
+            cache_entries += entries
+        out["ordering.cache_hits"] = cache_hits
+        out["ordering.cache_misses"] = cache_misses
+        out["ordering.cache_entries"] = cache_entries
+        out["process.stragglers_dropped"] = stragglers
+        return out
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down cleanly; kill whatever will not die."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.transport.flush()
+        except TransportError:
+            pass
+        for index in list(self._procs):
+            name = self.shard_name(index)
+            try:
+                self.transport.request("client", name, "shutdown", None)
+            except TransportError:
+                pass
+        self.transport.close()
+        for proc in self._procs.values():
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10)
+        self._procs.clear()
+        self.oracle.shutdown()
+        self.oracle.close()
+        self._oracle_proc.join(timeout=10)
+        if self._oracle_proc.is_alive():
+            self._oracle_proc.kill()
+            self._oracle_proc.join(timeout=10)
+        try:
+            os.unlink(self._oracle_path)
+        except OSError:
+            pass
+        try:
+            os.rmdir(self._tmpdir)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ProcessWeaver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

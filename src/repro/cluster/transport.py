@@ -1,0 +1,402 @@
+"""The pluggable message transport behind Weaver's server contract.
+
+Three implementations of one interface:
+
+* :class:`LocalTransport` — synchronous in-process delivery, the direct
+  path unit tests exercise the contract against;
+* :class:`SimTransport` — an adapter over the deterministic
+  :class:`~repro.sim.network.Network` simulator: sends become scheduled
+  FIFO deliveries with latency and fault injection, requests pay a
+  round trip before their reply callback fires;
+* :class:`ProcessTransport` — the real thing: length-prefixed
+  :mod:`~repro.cluster.wire` frames over UNIX sockets to worker
+  processes, with **in-flight batching** (one-way messages buffer per
+  channel and flush as a single frame before the next request on that
+  channel, preserving FIFO) and **request pipelining** (fan-outs write
+  every request before reading any reply, so worker processes crunch
+  concurrently).
+
+The contract is intentionally small — ``register`` a delivery callback
+per node name, ``send`` one-way, ``request`` round-trip, ``broadcast``
+to many — because that is exactly what the Weaver deployments need:
+gatekeeper→shard enqueues are sends, program resolution and readiness
+barriers are requests, announces and NOPs are broadcasts.
+
+Backpressure rules (process transport): one-way sends never block (they
+buffer); a buffer flushes when its channel issues a request, when it
+reaches ``max_batch`` messages, or on an explicit ``flush()``.  Requests
+block the caller until the matching reply, bounding client-side
+outstanding work to one pipelined fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import WeaverError
+from . import wire
+
+#: Delivery callback: handler(src, kind, payload) -> optional reply.
+Handler = Callable[[str, str, Any], Any]
+
+
+class TransportError(WeaverError):
+    """A channel failed: broken pipe, dead worker, timeout, protocol."""
+
+    def __init__(self, message: str, channel: Optional[str] = None):
+        super().__init__(message)
+        self.channel = channel
+
+
+class TransportStats:
+    """Counters for the wire layer, exported under ``transport.*``.
+
+    ``requests_pipelined`` counts requests issued while at least one
+    other request was already in flight — the overlap the fan-out path
+    exists to create.  ``batched_messages`` counts one-way messages that
+    rode a multi-message frame instead of paying their own syscall.
+    """
+
+    def __init__(self) -> None:
+        self.messages_sent = 0       # logical one-way messages
+        self.messages_received = 0   # logical inbound messages/replies
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.requests = 0
+        self.requests_pipelined = 0
+        self.batches_sent = 0        # multi-message frames
+        self.batched_messages = 0    # messages riding those frames
+        self.serialize_seconds = 0.0
+        self.deserialize_seconds = 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class Transport:
+    """The deployment-neutral message-passing contract."""
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Install the delivery callback for node ``name``."""
+        raise NotImplementedError
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        """One-way message; delivery order is FIFO per (src, dst)."""
+        raise NotImplementedError
+
+    def request(self, src: str, dst: str, kind: str, payload: Any,
+                on_reply: Optional[Callable[[Any], None]] = None) -> Any:
+        """Round trip.  Synchronous transports return the reply (and
+        also invoke ``on_reply``); the simulated transport delivers the
+        reply only through ``on_reply``, after two latency charges."""
+        raise NotImplementedError
+
+    def broadcast(self, src: str, dsts, kind: str, payload: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, kind, payload)
+
+    def flush(self, dst: Optional[str] = None) -> None:
+        """Push out any buffered one-way messages (no-op unless the
+        transport batches)."""
+
+    def close(self) -> None:
+        """Release channels; further traffic raises."""
+
+
+class LocalTransport(Transport):
+    """Synchronous in-process delivery — the contract's reference
+    implementation and the direct-mode test double."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+        self.stats = TransportStats()
+
+    def register(self, name: str, handler: Handler) -> None:
+        self._handlers[name] = handler
+
+    def _deliver(self, src: str, dst: str, kind: str, payload: Any) -> Any:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise TransportError(f"no handler registered for {dst!r}", dst)
+        self.stats.messages_received += 1
+        return handler(src, kind, payload)
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        self.stats.messages_sent += 1
+        self._deliver(src, dst, kind, payload)
+
+    def request(self, src, dst, kind, payload, on_reply=None):
+        self.stats.messages_sent += 1
+        self.stats.requests += 1
+        reply = self._deliver(src, dst, kind, payload)
+        if on_reply is not None:
+            on_reply(reply)
+        return reply
+
+
+class SimTransport(Transport):
+    """The deterministic twin: the message contract over the simulated
+    :class:`~repro.sim.network.Network`.
+
+    Payloads stay Python objects (no serialization — determinism and
+    fault injection are the simulator's job); ``kind`` maps straight to
+    the network's per-kind counters and fault matching, so existing
+    Fig 14 accounting and chaos plans apply unchanged.
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self._handlers: Dict[str, Handler] = {}
+        self.stats = TransportStats()
+
+    def register(self, name: str, handler: Handler) -> None:
+        self._handlers[name] = handler
+
+    def _dispatch(self, dst: str, src: str, kind: str, payload: Any) -> Any:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return None  # dead letter: destination never registered
+        self.stats.messages_received += 1
+        return handler(src, kind, payload)
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        self.stats.messages_sent += 1
+        self.network.send(
+            src, dst, self._dispatch, dst, src, kind, payload, kind=kind
+        )
+
+    def request(self, src, dst, kind, payload, on_reply=None):
+        """Deliver after one latency; schedule the reply back after
+        another.  Returns None — simulated requests are asynchronous."""
+        self.stats.messages_sent += 1
+        self.stats.requests += 1
+
+        def deliver_and_reply(dst_, src_, kind_, payload_) -> None:
+            reply = self._dispatch(dst_, src_, kind_, payload_)
+            if on_reply is not None:
+                self.network.send(
+                    dst_, src_, on_reply, reply, kind=f"{kind_}-reply"
+                )
+
+        self.network.send(
+            src, dst, deliver_and_reply, dst, src, kind, payload, kind=kind
+        )
+        return None
+
+
+class _Channel:
+    """Client end of one worker connection."""
+
+    __slots__ = ("name", "sock", "buffer", "pending", "replies",
+                 "next_id", "dead")
+
+    def __init__(self, name: str, sock) -> None:
+        self.name = name
+        self.sock = sock
+        self.buffer: List[Tuple[str, Any]] = []   # unsent one-way msgs
+        self.pending: deque = deque()              # request ids in flight
+        self.replies: Dict[int, dict] = {}
+        self.next_id = 0
+        self.dead = False
+
+
+class ProcessTransport(Transport):
+    """Length-prefixed wire frames to worker processes over sockets."""
+
+    def __init__(self, registry=None, max_batch: int = 512,
+                 timeout: float = 60.0):
+        self.stats = TransportStats()
+        self._channels: Dict[str, _Channel] = {}
+        self._handlers: Dict[str, Handler] = {}
+        self._registry = registry
+        self._max_batch = max_batch
+        self._timeout = timeout
+        self._closed = False
+
+    # -- wiring ---------------------------------------------------------
+
+    def add_channel(self, name: str, sock) -> None:
+        """Adopt the client end of a worker's socket."""
+        sock.settimeout(self._timeout)
+        self._channels[name] = _Channel(name, sock)
+        self._gauge(name)
+
+    def remove_channel(self, name: str) -> None:
+        """Drop a channel (dead worker); buffered messages are discarded
+        — their effects are already durable in the backing store, and
+        recovery reloads from there."""
+        channel = self._channels.pop(name, None)
+        if channel is not None:
+            try:
+                channel.sock.close()
+            except OSError:
+                pass
+        if self._registry is not None:
+            self._registry.gauge(f"transport.queue_depth.{name}").set(0)
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Delivery callback for worker-initiated traffic addressed to
+        ``name`` (trace events riding reply frames)."""
+        self._handlers[name] = handler
+
+    def channels(self) -> List[str]:
+        return sorted(self._channels)
+
+    def _gauge(self, name: str) -> None:
+        if self._registry is None:
+            return
+        channel = self._channels.get(name)
+        depth = (
+            0 if channel is None
+            else len(channel.buffer) + len(channel.pending)
+        )
+        self._registry.gauge(f"transport.queue_depth.{name}").set(depth)
+
+    def _channel(self, dst: str) -> _Channel:
+        channel = self._channels.get(dst)
+        if channel is None or channel.dead:
+            raise TransportError(f"no live channel to {dst!r}", dst)
+        return channel
+
+    # -- framing --------------------------------------------------------
+
+    def _write(self, channel: _Channel, envelope: dict) -> None:
+        start = time.perf_counter()
+        payload = wire.encode(envelope)
+        self.stats.serialize_seconds += time.perf_counter() - start
+        try:
+            sent = wire.write_frame(channel.sock, payload)
+        except OSError as exc:
+            channel.dead = True
+            raise TransportError(
+                f"channel to {channel.name!r} broke: {exc}", channel.name
+            ) from exc
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += sent
+
+    def _read(self, channel: _Channel) -> dict:
+        try:
+            payload = wire.read_frame(channel.sock)
+        except (OSError, wire.WireError) as exc:
+            channel.dead = True
+            raise TransportError(
+                f"channel to {channel.name!r} broke: {exc}", channel.name
+            ) from exc
+        self.stats.frames_received += 1
+        self.stats.bytes_received += len(payload) + 4
+        start = time.perf_counter()
+        envelope = wire.decode(payload)
+        self.stats.deserialize_seconds += time.perf_counter() - start
+        self.stats.messages_received += 1
+        return envelope
+
+    def _flush_channel(self, channel: _Channel) -> None:
+        if not channel.buffer:
+            return
+        batch = channel.buffer
+        channel.buffer = []
+        if len(batch) > 1:
+            self.stats.batches_sent += 1
+            self.stats.batched_messages += len(batch)
+        self._write(channel, {"k": "b", "m": batch})
+        self._gauge(channel.name)
+
+    # -- one-way sends (buffered; FIFO per channel) ---------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        channel = self._channel(dst)
+        channel.buffer.append((kind, payload))
+        self.stats.messages_sent += 1
+        if len(channel.buffer) >= self._max_batch:
+            self._flush_channel(channel)
+        else:
+            self._gauge(dst)
+
+    def flush(self, dst: Optional[str] = None) -> None:
+        names = [dst] if dst is not None else list(self._channels)
+        for name in names:
+            channel = self._channels.get(name)
+            if channel is not None and not channel.dead:
+                self._flush_channel(channel)
+
+    # -- requests (pipelined) -------------------------------------------
+
+    def _outstanding(self) -> int:
+        return sum(len(c.pending) for c in self._channels.values())
+
+    def request_async(
+        self, src: str, dst: str, kind: str, payload: Any
+    ) -> Tuple[str, int]:
+        """Issue a request without waiting; returns a token for
+        :meth:`collect`.  Buffered one-way messages on the channel go
+        first (FIFO with the request)."""
+        channel = self._channel(dst)
+        self._flush_channel(channel)
+        if self._outstanding() > 0:
+            self.stats.requests_pipelined += 1
+        rid = channel.next_id
+        channel.next_id += 1
+        self.stats.requests += 1
+        self.stats.messages_sent += 1
+        self._write(channel, {"k": "r", "id": rid, "kind": kind,
+                              "p": payload})
+        channel.pending.append(rid)
+        self._gauge(dst)
+        return (dst, rid)
+
+    def collect(self, token: Tuple[str, int]) -> Any:
+        """Block until the reply for ``token`` arrives; deliver any
+        piggybacked worker events to the registered handler."""
+        dst, rid = token
+        channel = self._channel(dst)
+        while rid not in channel.replies:
+            envelope = self._read(channel)
+            if envelope.get("k") not in ("p", "e"):
+                raise TransportError(
+                    f"unexpected frame kind {envelope.get('k')!r} "
+                    f"from {dst!r}", dst
+                )
+            events = envelope.get("ev")
+            if events:
+                handler = self._handlers.get("client")
+                if handler is not None:
+                    handler(dst, "trace-events", events)
+            channel.replies[envelope["id"]] = envelope
+            if envelope["id"] in channel.pending:
+                channel.pending.remove(envelope["id"])
+            self._gauge(dst)
+        envelope = channel.replies.pop(rid)
+        if envelope["k"] == "e":
+            raise TransportError(
+                f"worker {dst!r} failed: {envelope.get('e')}", dst
+            )
+        return envelope.get("p")
+
+    def request(self, src, dst, kind, payload, on_reply=None):
+        reply = self.collect(self.request_async(src, dst, kind, payload))
+        if on_reply is not None:
+            on_reply(reply)
+        return reply
+
+    def request_all(
+        self, src: str, calls: List[Tuple[str, str, Any]]
+    ) -> List[Any]:
+        """Pipelined fan-out: write every request, then read every
+        reply.  Workers execute their requests concurrently; wall-clock
+        is the slowest worker, not the sum."""
+        tokens = [
+            self.request_async(src, dst, kind, payload)
+            for dst, kind, payload in calls
+        ]
+        return [self.collect(token) for token in tokens]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for name in list(self._channels):
+            self.remove_channel(name)

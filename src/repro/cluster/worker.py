@@ -1,0 +1,439 @@
+"""Worker processes for the real (multiprocess) deployment.
+
+Two worker mains live here, each speaking length-prefixed
+:mod:`~repro.cluster.wire` frames:
+
+* :func:`shard_worker_main` — one OS process per shard: owns a real
+  :class:`~repro.cluster.shard.ShardServer` (the same event loop the
+  simulator drives), enqueues gatekeeper-forwarded transactions,
+  advances to program timestamps, and serves **batch vertex
+  resolution**: for a program round it materializes each requested
+  vertex's snapshot image (visible properties and out-edges at the
+  program timestamp) so the expensive multi-version visibility work
+  runs in the worker, in parallel across shards, while the client-side
+  executor runs the program logic on plain data.
+* :func:`oracle_worker_main` — the timeline oracle as its own process
+  behind a UNIX listening socket; every shard worker (and the client,
+  for the referee and GC) connects and speaks the small RPC surface of
+  :class:`OracleProxy`.
+
+Shard-side trace spans (``shard.enqueue`` / ``shard.apply``) are
+buffered by a :class:`BufferTracer` and piggybacked on the next reply
+frame; the client re-emits them into its own tracer under the original
+``trace_id``, which is how ``repro trace`` chains and the
+strict-serializability referee see one coherent story across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.oracle import TimelineOracle
+from ..core.vclock import Ordering, VectorTimestamp
+from ..errors import WeaverError
+from . import wire
+from .messages import ProgramRequest
+from .shard import ShardServer
+
+_RESOLVE_KINDS = ("resolve",)
+
+
+class BufferTracer:
+    """Tracer shim for worker processes: buffers spans as plain tuples
+    ``(trace_id, kind, node, attrs)`` until a reply frame drains them."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[Optional[int], str, str, dict]] = []
+
+    def emit(self, trace_id, kind: str, node: str = "", **attrs) -> None:
+        self.events.append((trace_id, kind, node, attrs))
+
+    def drain(self) -> List[Tuple[Optional[int], str, str, dict]]:
+        events, self.events = self.events, []
+        return events
+
+
+class OracleProxy:
+    """Client-side stub of the oracle process.
+
+    Implements the ordering surface shards use
+    (:meth:`order`), the referee/GC surface the client uses
+    (:meth:`established_order`, :meth:`collect_below`), and the stats
+    attributes the metrics collector reads — each as one RPC.
+    """
+
+    def __init__(self, path: str):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.connect(path)
+        self._sock.settimeout(60.0)
+        self._next_id = 0
+        # Builder wiring assigns a tracer; decisions are traced in the
+        # oracle process, so the client-side attribute is inert.
+        self.tracer = None
+
+    def _call(self, kind: str, payload: Any) -> Any:
+        rid = self._next_id
+        self._next_id += 1
+        wire.write_frame(self._sock, wire.encode(
+            {"k": "r", "id": rid, "kind": kind, "p": payload}
+        ))
+        envelope = wire.decode(wire.read_frame(self._sock))
+        if envelope.get("k") == "e":
+            raise WeaverError(f"oracle worker failed: {envelope.get('e')}")
+        return envelope.get("p")
+
+    # -- ordering surface (what RefinableOrdering calls) ----------------
+
+    def order(self, a: VectorTimestamp, b: VectorTimestamp,
+              prefer: Ordering = Ordering.BEFORE) -> Ordering:
+        return self._call("order", (a, b, prefer))
+
+    def query_order(self, a, b) -> Optional[Ordering]:
+        return self._call("query", (a, b))
+
+    def established_order(self, a, b) -> Optional[Ordering]:
+        return self._call("established", (a, b))
+
+    def create_event(self, ts: VectorTimestamp) -> None:
+        self._call("create", ts)
+
+    def collect_below(self, watermark: VectorTimestamp) -> int:
+        return self._call("collect", watermark)
+
+    # -- stats surface (what the metrics collector reads) ---------------
+
+    @property
+    def head(self) -> "OracleProxy":
+        return self
+
+    def _snapshot(self) -> dict:
+        return self._call("stats", None)
+
+    @property
+    def stats(self):
+        snap = self._snapshot()
+        view = _AttrView(snap["stats"])
+        return view
+
+    @property
+    def num_events(self) -> int:
+        return self._snapshot()["num_events"]
+
+    @property
+    def reach_cache_size(self) -> int:
+        return self._snapshot()["reach_cache_size"]
+
+    def shutdown(self) -> None:
+        try:
+            self._call("shutdown", None)
+        except (WeaverError, OSError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _AttrView:
+    """A dict exposed as plain attributes, so
+    :func:`repro.obs.collect.scalar_fields` reads it like a real
+    ``OracleStats`` (``messages`` included as a plain field)."""
+
+    def __init__(self, fields: dict):
+        for key, value in fields.items():
+            setattr(self, key, value)
+
+
+# -- the shard worker ----------------------------------------------------
+
+
+def _vertex_image(node) -> dict:
+    """A plain-data snapshot of one visible vertex: what crosses the
+    wire back to the client-side executor."""
+    return {
+        "handle": node.handle,
+        "properties": node.properties(),
+        "edges": [
+            (edge.handle, edge.nbr, edge.properties())
+            for edge in node.neighbors
+        ],
+    }
+
+
+class _ShardWorker:
+    """The request loop around one ShardServer."""
+
+    def __init__(
+        self,
+        index: int,
+        num_gatekeepers: int,
+        oracle,
+        use_ordering_cache: bool,
+        epoch: int = 0,
+        image: Optional[tuple] = None,
+        recovery_ts: Optional[VectorTimestamp] = None,
+    ):
+        self.shard = ShardServer(
+            index, num_gatekeepers, oracle, use_ordering_cache
+        )
+        self.tracer = BufferTracer()
+        self.shard.tracer = self.tracer
+        self.stragglers_dropped = 0
+        if epoch > 0:
+            self.shard.advance_epoch(epoch)
+        if image is not None and recovery_ts is not None:
+            self._load_image(image, recovery_ts)
+        # Per-query snapshot views (+ resolved-vertex memo), dropped on
+        # the client's finish message.
+        self._queries: Dict[int, tuple] = {}
+
+    def _load_image(self, image: tuple, ts: VectorTimestamp) -> None:
+        """Install a recovery image (``graph_state_from_store`` shape,
+        pre-filtered to this shard) stamped at the recovery timestamp —
+        the process-mode mirror of ``ClusterManager._load_partition``."""
+        vertices, edges = image
+        graph = self.shard.graph
+        for handle, props in vertices.items():
+            graph.create_vertex(handle, ts)
+            for key, value in props.items():
+                graph.set_vertex_property(handle, key, value, ts)
+        for (src, handle), record in edges.items():
+            graph.create_edge(handle, src, record["dst"], ts)
+            for key, value in record.get("props", {}).items():
+                graph.set_edge_property(src, handle, key, value, ts)
+
+    # -- message handling ----------------------------------------------
+
+    def handle_send(self, kind: str, payload: Any) -> None:
+        if kind == "enqueue":
+            gk_index, qtx = payload
+            if qtx.ts.epoch < self.shard.epoch:
+                # Pre-recovery straggler: its effects are already in the
+                # reloaded state (defensive — the FIFO socket makes this
+                # unreachable in the current client).
+                self.stragglers_dropped += 1
+                return
+            self.shard.enqueue(gk_index, qtx)
+        elif kind == "finish":
+            self._queries.pop(payload, None)
+        else:
+            raise WeaverError(f"unknown one-way message {kind!r}")
+
+    def handle_request(self, kind: str, payload: Any) -> Any:
+        shard = self.shard
+        if kind == "resolve":
+            return self._resolve(payload)
+        if kind == "advance_to":
+            return shard.advance_to(payload)
+        if kind == "drain":
+            return shard.apply_available()
+        if kind == "advance_epoch":
+            self._queries.clear()
+            shard.advance_epoch(payload)
+            return True
+        if kind == "collect_below":
+            reclaimed = shard.collect_below(payload)
+            cache = shard.ordering.cache
+            if cache is not None:
+                cache.evict_below(payload)
+            return reclaimed
+        if kind == "stats":
+            return self._stats()
+        if kind == "ping":
+            return True
+        if kind == "shutdown":
+            # A request (not a one-way send) so the client can await the
+            # acknowledgement before reaping the process.
+            return True
+        raise WeaverError(f"unknown request {kind!r}")
+
+    def _resolve(self, request: ProgramRequest) -> Dict[str, Any]:
+        """One shard's share of one scatter-gather round.
+
+        The per-(query, shard) snapshot view is created on the first
+        round and reused for the query's lifetime, exactly like
+        :class:`~repro.programs.routing.ShardSnapshotResolver` does
+        in-process; ``fresh`` tells the client whether this batch paid
+        the snapshot construction."""
+        shard = self.shard
+        entry = self._queries.get(request.query_id)
+        fresh = entry is None
+        if fresh:
+            view = shard.snapshot(request.ts)
+            entry = (view,)
+            self._queries[request.query_id] = entry
+        (view,) = entry
+        images: Dict[str, Any] = {}
+        for handle, _params in request.vertices:
+            shard.stats.vertices_read += 1
+            node = view.try_vertex(handle)
+            images[handle] = None if node is None else _vertex_image(node)
+        return {"images": images, "fresh": fresh}
+
+    def _stats(self) -> dict:
+        shard = self.shard
+        out = {
+            "shard": {
+                key: value
+                for key, value in vars(shard.stats).items()
+                if isinstance(value, (int, float))
+            },
+            "ordering": {
+                key: value
+                for key, value in vars(shard.ordering.stats).items()
+                if isinstance(value, (int, float))
+            },
+            "queue_depths": shard.queue_depths(),
+            "epoch": shard.epoch,
+            "stragglers_dropped": self.stragglers_dropped,
+        }
+        cache = shard.ordering.cache
+        out["cache"] = (
+            (cache.hits, cache.misses, len(cache))
+            if cache is not None else (0, 0, 0)
+        )
+        return out
+
+
+def shard_worker_main(
+    sock,
+    index: int,
+    num_gatekeepers: int,
+    use_ordering_cache: bool = True,
+    oracle_path: Optional[str] = None,
+    epoch: int = 0,
+    image: Optional[tuple] = None,
+    recovery_ts: Optional[VectorTimestamp] = None,
+) -> None:
+    """Entry point of one shard worker process."""
+    oracle = (
+        OracleProxy(oracle_path) if oracle_path else TimelineOracle()
+    )
+    worker = _ShardWorker(
+        index, num_gatekeepers, oracle, use_ordering_cache,
+        epoch=epoch, image=image, recovery_ts=recovery_ts,
+    )
+    try:
+        while True:
+            try:
+                envelope = wire.decode(wire.read_frame(sock))
+            except (wire.WireError, OSError):
+                break  # client went away; die quietly
+            kind = envelope.get("k")
+            if kind == "b":
+                for msg_kind, payload in envelope["m"]:
+                    worker.handle_send(msg_kind, payload)
+                continue
+            if kind != "r":
+                break
+            rid = envelope["id"]
+            try:
+                result = worker.handle_request(
+                    envelope["kind"], envelope.get("p")
+                )
+                reply = {"k": "p", "id": rid, "p": result,
+                         "ev": worker.tracer.drain()}
+            except Exception as exc:  # report, keep serving
+                reply = {"k": "e", "id": rid, "e": repr(exc),
+                         "ev": worker.tracer.drain()}
+            try:
+                wire.write_frame(sock, wire.encode(reply))
+            except OSError:
+                break
+            if envelope["kind"] == "shutdown":
+                break
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        if isinstance(oracle, OracleProxy):
+            oracle.close()
+
+
+# -- the oracle worker ---------------------------------------------------
+
+
+def oracle_worker_main(listen_sock) -> None:
+    """Entry point of the timeline-oracle process.
+
+    A selector loop over one UNIX listening socket: every shard worker
+    and the client hold their own connection.  Requests are tiny and
+    the oracle is single-threaded by design — it is the serialization
+    point whose request count Fig 14 measures.
+    """
+    oracle = TimelineOracle()
+    sel = selectors.DefaultSelector()
+    listen_sock.setblocking(True)
+    sel.register(listen_sock, selectors.EVENT_READ, None)
+    running = True
+
+    def handle(payload_kind: str, payload: Any) -> Any:
+        nonlocal running
+        if payload_kind == "order":
+            a, b, prefer = payload
+            return oracle.order(a, b, prefer)
+        if payload_kind == "query":
+            return oracle.query_order(*payload)
+        if payload_kind == "established":
+            return oracle.established_order(*payload)
+        if payload_kind == "create":
+            oracle.create_event(payload)
+            return None
+        if payload_kind == "collect":
+            return oracle.collect_below(payload)
+        if payload_kind == "stats":
+            fields = {
+                key: value
+                for key, value in vars(oracle.stats).items()
+                if isinstance(value, (int, float))
+            }
+            fields["messages"] = oracle.stats.messages
+            return {
+                "stats": fields,
+                "num_events": oracle.num_events,
+                "reach_cache_size": oracle.reach_cache_size,
+            }
+        if payload_kind == "shutdown":
+            running = False
+            return True
+        raise WeaverError(f"unknown oracle request {payload_kind!r}")
+
+    buffers: Dict[Any, wire.FrameBuffer] = {}
+    while running:
+        for key, _mask in sel.select(timeout=1.0):
+            conn = key.fileobj
+            if conn is listen_sock:
+                client, _ = listen_sock.accept()
+                sel.register(client, selectors.EVENT_READ, None)
+                buffers[client] = wire.FrameBuffer()
+                continue
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                sel.unregister(conn)
+                buffers.pop(conn, None)
+                conn.close()
+                continue
+            for frame in buffers[conn].feed(chunk):
+                envelope = wire.decode(frame)
+                rid = envelope.get("id")
+                try:
+                    result = handle(envelope["kind"], envelope.get("p"))
+                    reply = {"k": "p", "id": rid, "p": result}
+                except Exception as exc:
+                    reply = {"k": "e", "id": rid, "e": repr(exc)}
+                try:
+                    wire.write_frame(conn, wire.encode(reply))
+                except OSError:
+                    pass
+    for conn in list(buffers):
+        conn.close()
+    listen_sock.close()

@@ -23,15 +23,13 @@ import dataclasses
 import itertools
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
-from ..cluster.manager import ClusterManager
+from ..cluster.builder import build_cluster
 from ..cluster.messages import QueuedTransaction
 from ..cluster.shard import ShardServer
 from ..core.gatekeeper import Gatekeeper, sync_announce_all
-from ..core.ordering import make_oracle
 from ..core.vclock import VectorTimestamp
 from ..errors import ClusterError, NoSuchVertex
 from ..graph.partition import HashPartitioner, LdgPartitioner
-from ..obs import MetricsRegistry, Tracer, register_stats_collectors
 from ..programs.caching import ChangeTracker, ProgramCache
 from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
 from ..programs.routing import ShardSnapshotResolver
@@ -48,34 +46,21 @@ class Weaver:
     """A complete Weaver deployment in one process."""
 
     def __init__(self, config: Optional[WeaverConfig] = None):
-        self.config = config or WeaverConfig()
+        # One deployment-neutral assembly (cluster/builder.py) shared
+        # with the simulated and multiprocess deployments; the parts
+        # lists are the live ones (recovery replaces elements in place,
+        # and the registered collectors follow).
+        parts = build_cluster(config)
+        self.parts = parts
+        self.config = parts.config
         cfg = self.config
-        if cfg.store_nodes:
-            from ..store.distributed import DistributedStore
-
-            self.store: TransactionalStore = DistributedStore(
-                cfg.store_nodes, cfg.store_replication
-            )
-        else:
-            self.store = TransactionalStore()
-        self.mapping = ShardMapping(self.store, cfg.num_shards)
-        self.oracle = make_oracle(cfg.oracle_chain_length)
-        self.gatekeepers: List[Gatekeeper] = [
-            Gatekeeper(i, cfg.num_gatekeepers, self.store)
-            for i in range(cfg.num_gatekeepers)
-        ]
-        self.shards: List[ShardServer] = [
-            ShardServer(
-                i, cfg.num_gatekeepers, self.oracle, cfg.use_ordering_cache
-            )
-            for i in range(cfg.num_shards)
-        ]
-        self.manager = ClusterManager(self.store, self.mapping)
-        for gk in self.gatekeepers:
-            self.manager.register_gatekeeper(gk)
-        for shard in self.shards:
-            self.manager.register_shard(shard)
-        self.executor = ProgramExecutor()
+        self.store: TransactionalStore = parts.store
+        self.mapping = parts.mapping
+        self.oracle = parts.oracle
+        self.gatekeepers: List[Gatekeeper] = parts.gatekeepers
+        self.shards: List[ShardServer] = parts.shards
+        self.manager = parts.manager
+        self.executor = parts.executor
         self.watermarks = WatermarkRegistry(
             cmp=lambda a, b: a.compare(b)
         )
@@ -88,20 +73,8 @@ class Weaver:
         # Observability: one registry + tracer per deployment.  Direct
         # mode has no time axis, so spans default to their emission
         # sequence number as the timestamp (still a total order).
-        self.metrics = MetricsRegistry()
-        self.tracer = Tracer(registry=self.metrics)
-        self.oracle.tracer = self.tracer
-        for gk in self.gatekeepers:
-            gk.tracer = self.tracer
-        for shard in self.shards:
-            shard.tracer = self.tracer
-        register_stats_collectors(
-            self.metrics,
-            oracle=self.oracle,
-            gatekeepers=lambda: self.gatekeepers,
-            shards=lambda: self.shards,
-            programs=lambda: self.executor.stats,
-        )
+        self.metrics = parts.metrics
+        self.tracer = parts.tracer
         self._handle_counter = itertools.count()
         self._query_counter = itertools.count(1)
         self._next_gk = itertools.count()

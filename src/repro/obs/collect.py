@@ -48,6 +48,7 @@ def register_stats_collectors(
     shards: Optional[Callable[[], list]] = None,
     network=None,
     programs: Optional[Callable[[], object]] = None,
+    transport=None,
     extra: Optional[Callable[[], Dict[str, Number]]] = None,
 ) -> None:
     """Wire one deployment's stats objects into ``registry``.
@@ -56,7 +57,10 @@ def register_stats_collectors(
     *current* server lists — deployments replace servers on recovery,
     and collectors must follow the replacements, not the corpses.
     ``programs`` is a zero-arg callable returning the program executor's
-    ``ProgramStats``, exported under ``program.*``.
+    ``ProgramStats``, exported under ``program.*``.  ``transport`` is a
+    wire-layer ``TransportStats``, exported under ``transport.*`` (the
+    per-channel queue-depth gauges are registered by the transport
+    itself, since channels come and go with workers).
     """
 
     if oracle is not None:
@@ -144,6 +148,16 @@ def register_stats_collectors(
             }
 
         registry.register_collector(collect_programs)
+
+    if transport is not None:
+
+        def collect_transport() -> Dict[str, Number]:
+            return {
+                f"transport.{key}": value
+                for key, value in scalar_fields(transport).items()
+            }
+
+        registry.register_collector(collect_transport)
 
     if extra is not None:
         registry.register_collector(extra)

@@ -28,20 +28,15 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..cluster.manager import ClusterManager
-from ..cluster.messages import QueuedTransaction
-from ..cluster.shard import ShardServer
-from ..core.gatekeeper import Gatekeeper
-from ..core.ordering import make_oracle
+from ..cluster.builder import build_cluster
+from ..cluster.messages import AnnounceMessage, Heartbeat, QueuedTransaction
+from ..cluster.transport import SimTransport
 from ..core.vclock import VectorTimestamp
 from ..db.config import WeaverConfig
 from ..db.operations import Operation, touched_vertices
 from ..errors import TransactionAborted
-from ..obs import MetricsRegistry, Tracer, register_stats_collectors
-from ..programs.framework import NodeProgram, ProgramExecutor, ProgramResult
+from ..programs.framework import NodeProgram, ProgramResult
 from ..programs.routing import ShardSnapshotResolver
-from ..store.kvstore import TransactionalStore
-from ..store.mapping import ShardMapping
 from .clock import USEC
 from .faults import FaultInjector, FaultPlan, GATEKEEPER
 from .network import Network
@@ -140,26 +135,28 @@ class SimulatedWeaver:
         self.network = Network(
             self.simulator, latency=latency, fault_injector=injector
         )
-        self.store = TransactionalStore()
-        self.mapping = ShardMapping(self.store, self.config.num_shards)
-        self.oracle = make_oracle(self.config.oracle_chain_length)
-        self.gatekeepers = [
-            Gatekeeper(i, self.config.num_gatekeepers, self.store)
-            for i in range(self.config.num_gatekeepers)
-        ]
-        self.shards = [
-            ShardServer(
-                i,
-                self.config.num_gatekeepers,
-                self.oracle,
-                self.config.use_ordering_cache,
-            )
-            for i in range(self.config.num_shards)
-        ]
-        self.manager = ClusterManager(
-            self.store, self.mapping,
+        # The deterministic twin of the process deployment: same parts
+        # from the same builder, with the message contract routed over
+        # the simulated network instead of sockets.
+        self.transport = SimTransport(self.network)
+        parts = build_cluster(
+            config,
             heartbeat_timeout=2.5 * heartbeat_period,
+            tracer_clock=lambda: self.simulator.now,
+            network=self.network,
+            transport_stats=self.transport.stats,
+            extra=self._sim_metrics,
+            use_store_nodes=False,
         )
+        self.parts = parts
+        self.config = parts.config
+        self.store = parts.store
+        self.mapping = parts.mapping
+        self.oracle = parts.oracle
+        self.gatekeepers = parts.gatekeepers
+        self.shards = parts.shards
+        self.manager = parts.manager
+        self.executor = parts.executor
         # Optional service-time accounting: with a CostParams attached,
         # gatekeepers and shards become serially-busy resources and the
         # deployment yields protocol-level *performance*, not just
@@ -171,32 +168,23 @@ class SimulatedWeaver:
         self._shard_servers = [
             Server(self.simulator, s.name) for s in self.shards
         ]
-        for gk in self.gatekeepers:
-            self.manager.register_gatekeeper(gk)
-        for shard in self.shards:
-            self.manager.register_shard(shard)
-        self.executor = ProgramExecutor()
         # Observability: spans are stamped with simulated time, and the
         # latency histograms filled from the trace timings are the data
         # source for the Fig 10/11 latency CDFs.
-        self.metrics = MetricsRegistry()
-        self.tracer = Tracer(
-            clock=lambda: self.simulator.now, registry=self.metrics
-        )
-        self.oracle.tracer = self.tracer
+        self.metrics = parts.metrics
+        self.tracer = parts.tracer
+        # Delivery callbacks, keyed by stable server *names* (handlers
+        # re-fetch by index, so recovery replacements are reached without
+        # re-registration).
+        self.transport.register("manager", self._on_manager_message)
         for gk in self.gatekeepers:
-            gk.tracer = self.tracer
+            self.transport.register(
+                gk.name, self._make_gk_handler(gk.index)
+            )
         for shard in self.shards:
-            shard.tracer = self.tracer
-        register_stats_collectors(
-            self.metrics,
-            oracle=self.oracle,
-            gatekeepers=lambda: self.gatekeepers,
-            shards=lambda: self.shards,
-            network=self.network,
-            programs=lambda: self.executor.stats,
-            extra=self._sim_metrics,
-        )
+            self.transport.register(
+                shard.name, self._make_shard_handler(shard.index)
+            )
         self.latency_tx = self.metrics.histogram("latency.tx_commit")
         self.latency_program = self.metrics.histogram("latency.program")
         self._seqnos: Dict[Tuple[int, int], int] = {}
@@ -229,6 +217,31 @@ class SimulatedWeaver:
         self.start_timers()
         if run_timers_for:
             self.simulator.run(until=run_timers_for)
+
+    # -- delivery callbacks (the transport contract) ----------------------
+
+    def _make_gk_handler(self, index: int):
+        def handle(src: str, kind: str, payload: Any) -> None:
+            if kind == "announce":
+                announce, epoch = payload
+                self._deliver_announce(index, epoch, announce.vector)
+            elif kind == "tx-submit":
+                self._gatekeeper_commit(index, *payload)
+            elif kind == "prog-submit":
+                payload()  # the stamp-and-queue thunk, run at the server
+
+        return handle
+
+    def _make_shard_handler(self, index: int):
+        def handle(src: str, kind: str, payload: Any) -> None:
+            gk_index, qtx = payload
+            self._deliver(index, gk_index, qtx)
+
+        return handle
+
+    def _on_manager_message(self, src: str, kind: str, payload: Any) -> None:
+        if kind == "heartbeat":
+            self._manager_heartbeat(payload.server)
 
     # -- timers -------------------------------------------------------------
 
@@ -291,17 +304,12 @@ class SimulatedWeaver:
             return  # dead servers announce nothing; timer lapses
         vector = gk.make_announce()
         epoch = gk.clock.epoch
+        announce = AnnounceMessage(gk_index, vector)
         for peer in self.gatekeepers:
             if peer.index == gk_index or peer.name in self._crashed:
                 continue
-            self.network.send(
-                gk.name,
-                peer.name,
-                self._deliver_announce,
-                peer.index,
-                epoch,
-                vector,
-                kind="announce",
+            self.transport.send(
+                gk.name, peer.name, "announce", (announce, epoch)
             )
         self.simulator.schedule(self.tau, self._announce_tick, gk_index)
 
@@ -332,9 +340,9 @@ class SimulatedWeaver:
     def _heartbeat_tick(self, name: str) -> None:
         if name in self._crashed:
             return  # the silence is what the detector listens for
-        self.network.send(
-            name, "manager", self._manager_heartbeat, name,
-            kind="heartbeat",
+        self.transport.send(
+            name, "manager", "heartbeat",
+            Heartbeat(name, self.manager.epoch, self.simulator.now),
         )
         self.simulator.schedule(
             self.heartbeat_period, self._heartbeat_tick, name
@@ -392,10 +400,7 @@ class SimulatedWeaver:
         )
         gk_name = self.gatekeepers[gk_index].name
         shard = self.shards[shard_index]
-        self.network.send(
-            gk_name, shard.name, self._deliver, shard_index, gk_index,
-            qtx, kind=kind,
-        )
+        self.transport.send(gk_name, shard.name, kind, (gk_index, qtx))
 
     # -- failure injection (section 4.3, live) ---------------------------
 
@@ -494,17 +499,17 @@ class SimulatedWeaver:
         self.tracer.emit(
             trace_id, "client.submit", node="client", gk=gk_index
         )
-        self.network.send(
+        self.transport.send(
             "client",
             gk.name,
-            self._gatekeeper_commit,
-            gk_index,
-            tuple(operations),
-            tuple(new_vertices),
-            callback,
-            trace_id,
-            self.simulator.now,
-            kind="tx-submit",
+            "tx-submit",
+            (
+                tuple(operations),
+                tuple(new_vertices),
+                callback,
+                trace_id,
+                self.simulator.now,
+            ),
         )
         return trace_id
 
@@ -629,9 +634,7 @@ class SimulatedWeaver:
             )
             self._check_pending_programs()
 
-        self.network.send(
-            "client", gk_name, stamp_and_queue, kind="prog-submit"
-        )
+        self.transport.send("client", gk_name, "prog-submit", stamp_and_queue)
         return trace_id
 
     def _restamp_pending_programs(self) -> None:

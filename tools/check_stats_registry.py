@@ -36,6 +36,7 @@ ABSORBED = {
     "OrderingStats": "ordering.*",
     "NetworkStats": "network.*",
     "ProgramStats": "program.*",
+    "TransportStats": "transport.*",
 }
 
 # Deliberately outside the registry, with the reason on record.
