@@ -230,6 +230,58 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    """Long-running chaos soak with the online checker always on."""
+    from .sim.clock import MSEC
+    from .workloads.chaos import run_soak
+
+    report = run_soak(
+        seed=args.seed,
+        transport=args.transport,
+        wall_seconds=args.duration if args.chunks is None else None,
+        chunks=args.chunks,
+        chunk_horizon=args.chunk * MSEC,
+        num_vertices=args.vertices,
+        skew=args.skew,
+        parity=not args.no_parity,
+        offline_check=not args.no_offline,
+    )
+    rows = [
+        ("seed", report.seed),
+        ("transport", report.transport),
+        ("chunks", report.chunks),
+        ("wall time (s)", round(report.wall_seconds, 2)),
+        ("committed", report.committed),
+        ("aborted", report.aborted),
+        ("reads completed", report.reads_completed),
+        ("throughput (tx/s)", round(report.throughput, 1)),
+        ("recoveries", report.recoveries),
+        ("watermarks", report.watermarks),
+        ("window peak", report.window_peak),
+        ("window final", report.window_final),
+        ("records pruned", report.pruned),
+        ("parity checks", report.parity_checks),
+        ("parity failures", report.parity_failures),
+        ("online digest", report.digest[:16]),
+        ("violations (online)", len(report.online_violations)),
+        ("violations (offline)", len(report.offline_violations)),
+    ]
+    print(format_table(
+        "Soak run (online referee attached)", ["metric", "value"], rows
+    ))
+    for violation in report.online_violations:
+        print(f"  VIOLATION (online) {violation}")
+    for violation in report.offline_violations:
+        print(f"  VIOLATION (offline) {violation}")
+    if not report.ok:
+        if report.parity_failures:
+            print("  PARITY FAILURE: online digest diverged from the "
+                  "offline history")
+        return 1
+    print("strict serializability: OK (checked online, on every prefix)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """Deterministically re-create a chaos run and print one trace.
 
@@ -469,6 +521,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--skew", type=float, default=0.8,
                        help="Zipf skew of write/read targets")
     chaos.set_defaults(func=_cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="long-running chaos soak, online checker always on",
+    )
+    soak.add_argument("--seed", type=int, default=1)
+    soak.add_argument("--duration", type=float, default=8.0,
+                      help="wall-clock run time in seconds")
+    soak.add_argument("--chunks", type=int, default=None,
+                      help="run exactly N chunks instead of --duration")
+    soak.add_argument("--transport", choices=("sim", "process"),
+                      default="sim")
+    soak.add_argument("--chunk", type=float, default=30,
+                      help="sim chunk horizon in milliseconds")
+    soak.add_argument("--vertices", type=int, default=12)
+    soak.add_argument("--skew", type=float, default=0.8,
+                      help="Zipf skew of write/read targets")
+    soak.add_argument("--no-parity", action="store_true",
+                      help="skip the offline History twin (faster, "
+                           "less memory on very long runs)")
+    soak.add_argument("--no-offline", action="store_true",
+                      help="skip the end-of-run offline HistoryChecker "
+                           "sweep — it is quadratic in history size, so "
+                           "long soaks should rely on the online verdict")
+    soak.set_defaults(func=_cmd_soak)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument(

@@ -527,6 +527,11 @@ class ProcessWeaver:
         if watermark is None:
             return {"graph": 0, "oracle": 0}
         self.drain()
+        # After the drain every worker span below the watermark has been
+        # replayed locally; announcing the watermark now lets an attached
+        # online checker settle those events against decisions that the
+        # collect_below calls are about to discard.
+        self.tracer.emit(None, "gc.watermark", node="gc", ts=watermark)
         graph_reclaimed = sum(
             self._request_all_shards("collect_below", watermark)
         )

@@ -83,6 +83,12 @@ class ShardServer:
         # Assignments are counted in ShardStats.local_tiebreaks.
         self._local_rank = 0
         self._epoch = 0
+        # Position of the last non-NOP apply on this server instance;
+        # (epoch, apply_seq) keys the shard.apply span so the referee
+        # can reconstruct true apply order from a shuffled span stream
+        # (recovered servers restart at 0 in a higher epoch, which keys
+        # lexicographically after everything the old instance applied).
+        self._apply_seq = 0
         # Optional repro.obs.Tracer: traced transactions emit
         # shard.enqueue / shard.apply spans as they move through.
         self.tracer = None
@@ -227,10 +233,12 @@ class ShardServer:
             else:
                 op.apply_graph(self.graph, qtx.ts)
         self.stats.transactions_applied += 1
+        self._apply_seq += 1
         if self.tracer is not None and qtx.trace_id is not None:
             self.tracer.emit(
                 qtx.trace_id, "shard.apply", node=self.name,
                 ts=qtx.ts, shard=self.index,
+                apply_seq=self._apply_seq, epoch=self._epoch,
             )
         if self.on_apply is not None:
             self.on_apply(self.index, qtx)

@@ -137,7 +137,7 @@ class Gatekeeper:
             apply_writes(tx, ts)
             for vertex in touched:
                 tx.put(_LAST_UPDATE_PREFIX + vertex, ts)
-            tx.commit()
+            version = tx.commit()
         except Exception:
             # Every failure path — OCC conflict, timestamp inversion, or
             # a validity error raised by apply_writes — must release the
@@ -149,7 +149,13 @@ class Gatekeeper:
             self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
             raise
         self.stats.commits += 1
-        self._emit(trace_id, "store.commit", ts=ts, gk=self.index)
+        # The store's commit version is the global serialization anchor
+        # (section 4.2); the span carries it so the referee can key the
+        # commit record without relying on span delivery order.
+        self._emit(
+            trace_id, "store.commit", ts=ts, gk=self.index,
+            commit_seq=version,
+        )
         return ts
 
     def commit_prepared(
@@ -179,7 +185,7 @@ class Gatekeeper:
                     )
             for vertex in touched:
                 store_tx.put(_LAST_UPDATE_PREFIX + vertex, ts)
-            store_tx.commit()
+            version = store_tx.commit()
         except Exception:
             self.stats.aborts += 1
             if store_tx.is_open:
@@ -187,7 +193,10 @@ class Gatekeeper:
             self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
             raise
         self.stats.commits += 1
-        self._emit(trace_id, "store.commit", ts=ts, gk=self.index)
+        self._emit(
+            trace_id, "store.commit", ts=ts, gk=self.index,
+            commit_seq=version,
+        )
         return ts
 
     # -- failover (section 4.3) -----------------------------------------

@@ -374,6 +374,11 @@ class SimulatedWeaver:
             watermark = self._pending_programs[0][0]
         else:
             watermark = self.gatekeepers[0].current_watermark()
+        # Announce the watermark on the trace stream *before* collecting:
+        # the online checker is a synchronous sink, so it settles and
+        # prunes its windows while the decisions below the watermark are
+        # still queryable (they vanish in collect_below right after).
+        self.tracer.emit(None, "gc.watermark", node="gc", ts=watermark)
         # Oracle GC only: it uses pure vector-clock comparison, so the
         # (non-unique) peeked watermark cannot mint new oracle decisions.
         # Graph GC goes through refinable comparison and needs a real

@@ -5,15 +5,20 @@ from .history import (
     History,
     HistoryChecker,
     ProgramRead,
+    StreamDigest,
     Violation,
     decided_order,
 )
+from .online import CheckerStats, OnlineChecker
 
 __all__ = [
     "History",
     "HistoryChecker",
     "CommittedWrite",
     "ProgramRead",
+    "StreamDigest",
     "Violation",
     "decided_order",
+    "OnlineChecker",
+    "CheckerStats",
 ]

@@ -29,7 +29,7 @@ distinguish the two serializations.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.vclock import Ordering, VectorTimestamp
@@ -99,6 +99,87 @@ class Violation:
         return f"[{self.kind}] {self.detail}"
 
 
+_DIGEST_SPACE = 1 << 256
+
+
+class StreamDigest:
+    """Order-independent multiset digest over order-keyed entries.
+
+    Each entry is hashed independently and folded into a commutative
+    accumulator (sum mod 2**256), so the digest is invariant under the
+    *arrival* order of entries while still pinning the *logical* order —
+    every entry embeds its own order key (store commit version, shard
+    apply position).  ``discard`` supports back-patching: when a
+    provisional entry is later refined (a ``txn.commit`` recorded before
+    its ``store.commit`` arrived), the old encoding is subtracted and
+    the corrected one added, in O(1).
+    """
+
+    __slots__ = ("_acc", "_count")
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._count = 0
+
+    @staticmethod
+    def _fold(entry: Tuple) -> int:
+        return int.from_bytes(
+            hashlib.sha256(repr(entry).encode("utf-8")).digest(), "big"
+        )
+
+    def add(self, entry: Tuple) -> None:
+        self._acc = (self._acc + self._fold(entry)) % _DIGEST_SPACE
+        self._count += 1
+
+    def discard(self, entry: Tuple) -> None:
+        self._acc = (self._acc - self._fold(entry)) % _DIGEST_SPACE
+        self._count -= 1
+
+    def state(self) -> Tuple[int, int]:
+        return (self._count, self._acc)
+
+
+def commit_entry(c) -> Tuple:
+    """Canonical encoding of one commit record (order key embedded)."""
+    return (
+        "commit", c.tag, c.ts.epoch, c.ts.issuer, c.ts.clocks,
+        c.commit_seq, c.writes, c.submitted_at, c.acked_at,
+    )
+
+
+def read_entry(r) -> Tuple:
+    return (
+        "read", r.query_id, r.ts.epoch, r.ts.issuer, r.ts.clocks,
+        r.reads, r.submitted_at, r.completed_at,
+    )
+
+
+def apply_entry(shard: int, key: Tuple[int, int], ts_id: Tuple) -> Tuple:
+    return ("apply", shard, key, ts_id)
+
+
+def combined_digest(
+    commits: StreamDigest,
+    reads: StreamDigest,
+    applies: Dict[int, StreamDigest],
+) -> str:
+    """SHA-256 over the three accumulator states.
+
+    Equal digests mean the two consumers folded the same multiset of
+    order-keyed records — the arrival order they saw them in does not
+    matter, which is what lets the offline :class:`History` and the
+    online checker agree bit-for-bit on every finite prefix even when
+    process-transport replies reorder spans.
+    """
+    parts = (
+        "history-v2",
+        commits.state(),
+        reads.state(),
+        tuple((shard, applies[shard].state()) for shard in sorted(applies)),
+    )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
 class History:
     """An append-only record of one run's observable events."""
 
@@ -106,9 +187,21 @@ class History:
         self.commits: List[CommittedWrite] = []
         self.reads: List[ProgramRead] = []
         # Per-shard apply sequences: lists of timestamp ids in the order
-        # the shard applied them (NOPs excluded).
+        # the spans *arrived* (NOPs excluded); the true apply order is
+        # recovered from the parallel key lists (see apply_sequence).
         self.applies: Dict[int, List[Tuple[int, int, int]]] = {}
         self._commit_seq = 0
+        self._commit_digest = StreamDigest()
+        self._read_digest = StreamDigest()
+        self._apply_digests: Dict[int, StreamDigest] = {}
+        # (epoch, apply_seq) per recorded apply, parallel to `applies`.
+        self._apply_keys: Dict[int, List[Tuple[int, int]]] = {}
+        self._apply_fallback: Dict[int, int] = {}
+        # store.commit versions seen before their txn.commit span
+        # (ts.id -> FIFO of versions), and commits recorded before their
+        # store.commit span (ts.id -> FIFO of indices into `commits`).
+        self._store_seqs: Dict[Tuple[int, int, int], List[int]] = {}
+        self._unpatched: Dict[Tuple[int, int, int], List[int]] = {}
 
     # -- recording ------------------------------------------------------
 
@@ -119,21 +212,58 @@ class History:
         writes,
         submitted_at: float,
         acked_at: float,
+        commit_seq: Optional[int] = None,
     ) -> int:
         """Record one committed transaction; returns its commit_seq.
 
-        Callers must invoke this in backing-store commit order — in the
-        simulated deployment, commit callbacks fire synchronously inside
-        the store commit, so ack order *is* commit order.
+        ``commit_seq`` is the backing store's commit version when known
+        (the ``store.commit`` span carries it).  Without one, the
+        arrival counter stands in — exact for callers that invoke this
+        in backing-store commit order (the original contract), and
+        provisional for span streams, where a later
+        :meth:`record_store_commit` back-patches the true version.
         """
-        seq = self._commit_seq
+        arrival = self._commit_seq
         self._commit_seq += 1
-        self.commits.append(
-            CommittedWrite(
-                tag, ts, seq, tuple(writes), submitted_at, acked_at
-            )
+        seq = commit_seq
+        provisional = seq is None
+        if provisional:
+            queued = self._store_seqs.get(ts.id)
+            if queued:
+                seq = queued.pop(0)
+                provisional = False
+                if not queued:
+                    del self._store_seqs[ts.id]
+            else:
+                seq = arrival
+        commit = CommittedWrite(
+            tag, ts, seq, tuple(writes), submitted_at, acked_at
         )
+        if provisional:
+            self._unpatched.setdefault(ts.id, []).append(len(self.commits))
+        self.commits.append(commit)
+        self._commit_digest.add(commit_entry(commit))
         return seq
+
+    def record_store_commit(self, ts: VectorTimestamp, seq: int) -> None:
+        """Join one backing-store commit version to its commit record.
+
+        Arrival order is free: a version arriving first is queued for
+        the matching :meth:`record_commit`; one arriving second
+        back-patches the provisional record (and its digest entry).
+        """
+        pending = self._unpatched.get(ts.id)
+        if pending:
+            index = pending.pop(0)
+            if not pending:
+                del self._unpatched[ts.id]
+            old = self.commits[index]
+            self._commit_digest.discard(commit_entry(old))
+            patched = replace(old, commit_seq=seq)
+            self.commits[index] = patched
+            self._commit_digest.add(commit_entry(patched))
+        else:
+            self._store_seqs.setdefault(ts.id, []).append(seq)
 
     def record_read(
         self,
@@ -143,14 +273,47 @@ class History:
         submitted_at: float,
         completed_at: float,
     ) -> None:
-        self.reads.append(
-            ProgramRead(
-                query_id, ts, tuple(reads), submitted_at, completed_at
-            )
+        read = ProgramRead(
+            query_id, ts, tuple(reads), submitted_at, completed_at
+        )
+        self.reads.append(read)
+        self._read_digest.add(read_entry(read))
+
+    def record_apply(
+        self,
+        shard_index: int,
+        ts: VectorTimestamp,
+        key: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Record one shard apply.
+
+        ``key`` is the shard's own ``(epoch, apply_seq)`` position when
+        the span carries one; otherwise arrival order stands in (exact
+        for in-order streams and hand-built histories).
+        """
+        if key is None:
+            n = self._apply_fallback.get(shard_index, 0)
+            self._apply_fallback[shard_index] = n + 1
+            key = (0, n)
+        self.applies.setdefault(shard_index, []).append(ts.id)
+        self._apply_keys.setdefault(shard_index, []).append(key)
+        self._apply_digests.setdefault(shard_index, StreamDigest()).add(
+            apply_entry(shard_index, key, ts.id)
         )
 
-    def record_apply(self, shard_index: int, ts: VectorTimestamp) -> None:
-        self.applies.setdefault(shard_index, []).append(ts.id)
+    def apply_sequence(
+        self, shard_index: int
+    ) -> List[Tuple[int, int, int]]:
+        """The shard's apply sequence in true apply order.
+
+        Sorted by the per-shard ``(epoch, apply_seq)`` keys — identical
+        to arrival order for in-order streams, and the recovered order
+        when process-transport replies delivered spans shuffled.
+        """
+        ids = self.applies.get(shard_index, [])
+        keys = self._apply_keys.get(shard_index, [])
+        order = sorted(range(len(ids)), key=lambda i: (keys[i], i))
+        return [ids[i] for i in order]
 
     # -- trace-stream consumption ---------------------------------------
 
@@ -158,10 +321,12 @@ class History:
         """Subscribe this history to a trace stream (``repro.obs``).
 
         The referee becomes a tracer sink: ``shard.apply`` spans feed the
-        per-shard apply sequences, and the workload-level ``txn.commit``
-        / ``program.read`` spans feed commits and reads.  Sinks fire
-        synchronously at emission, so commit records still arrive in
-        backing-store commit order (the :meth:`record_commit` contract).
+        per-shard apply sequences, ``store.commit`` spans supply the
+        backing store's commit versions, and the workload-level
+        ``txn.commit`` / ``program.read`` spans feed commits and reads.
+        Spans may arrive out of trace order (process-transport replies
+        batch worker spans): records carry their own order keys, so the
+        recovered history is delivery-order independent.
         """
         tracer.add_sink(self.consume)
 
@@ -169,7 +334,17 @@ class History:
         """Fold one span into the history; unrelated kinds are ignored."""
         kind = span.kind
         if kind == "shard.apply":
-            self.record_apply(span.attr("shard"), span.attr("ts"))
+            apply_seq = span.attr("apply_seq")
+            key = (
+                (span.attr("epoch", 0), apply_seq)
+                if apply_seq is not None
+                else None
+            )
+            self.record_apply(span.attr("shard"), span.attr("ts"), key=key)
+        elif kind == "store.commit":
+            seq = span.attr("commit_seq")
+            if seq is not None:
+                self.record_store_commit(span.attr("ts"), seq)
         elif kind == "txn.commit":
             self.record_commit(
                 span.attr("tag"),
@@ -226,11 +401,18 @@ class History:
         )
 
     def digest(self) -> str:
-        """SHA-256 over the canonical rendering; equal digests mean
-        bit-for-bit identical histories (the determinism check)."""
-        return hashlib.sha256(
-            repr(self.canonical()).encode("utf-8")
-        ).hexdigest()
+        """SHA-256 over the order-keyed record multiset.
+
+        Equal digests mean bit-for-bit identical histories up to span
+        delivery order: every record embeds its own logical position
+        (commit version, apply key), so a shuffled stream of the same
+        spans digests identically — and so does the online checker's
+        incremental accumulator (see :mod:`repro.verify.online`), which
+        is the cross-check the soak harness runs on every prefix.
+        """
+        return combined_digest(
+            self._commit_digest, self._read_digest, self._apply_digests
+        )
 
 
 class HistoryChecker:
@@ -326,7 +508,8 @@ class HistoryChecker:
         decided order (the Fig 6 loop's whole job)."""
         by_id = {c.ts.id: c for c in self.history.commits}
         out: List[Violation] = []
-        for shard, sequence in sorted(self.history.applies.items()):
+        for shard in sorted(self.history.applies):
+            sequence = self.history.apply_sequence(shard)
             commits = [by_id[i] for i in sequence if i in by_id]
             stop = False
             for i, earlier in enumerate(commits):

@@ -1,0 +1,602 @@
+"""Streaming strict-serializability checking with bounded memory.
+
+The offline :class:`~repro.verify.history.HistoryChecker` is a pairwise
+referee: it retains the whole run and compares O(n^2) pairs at the end,
+which caps chaos runs at seconds.  This module is the same referee
+rebuilt as a *stream processor* (after the online timestamp-based
+checkers of arXiv:2504.01477 and the vector-clock atomicity checkers of
+arXiv:2001.04961): it attaches to the obs tracer as a span sink — the
+exact contract ``History.attach`` uses — folds every span into
+vector-clock windows keyed by the refinable-timestamp order, and emits
+the same :class:`~repro.verify.history.Violation` taxonomy while the
+run is still going.
+
+Three ideas make it linear:
+
+* **Order-keyed records.**  Every span carries its own logical position
+  (the backing store's commit version on ``store.commit``, the shard's
+  ``(epoch, apply_seq)`` on ``shard.apply``), so arrival order is
+  irrelevant: records are compared in *logical* order no matter how the
+  transport shuffled their spans.
+
+* **Watermark settlement.**  Events stay *pending* until a
+  ``gc.watermark`` span announces that everything below a timestamp is
+  final (the deployment emits it just before the oracle's
+  ``collect_below`` — i.e. while the decisions the checks need are
+  still queryable).  A settled event is checked once, against the
+  retained window, and never revisited: amortized O(1) comparisons per
+  event when the watermark advances steadily, because the window holds
+  only the events of one watermark interval plus one *floor* write per
+  live vertex and each shard's apply frontier.
+
+* **Commutative digests.**  Commit/read/apply records fold into the
+  same order-independent accumulator :class:`History` uses, so
+  ``OnlineChecker.digest() == History.digest()`` holds bit-for-bit on
+  every finite prefix of the same span stream — the parity invariant
+  the soak harness asserts after every chunk.
+
+What windowing gives up: pairs that straddle a pruned window boundary
+(two same-vertex writes more than one floor apart) are not re-compared,
+so the online verdict can miss a violation the unbounded offline
+checker would catch — and conversely it can *catch* one whose oracle
+decision a later GC discards before an end-of-run offline check runs.
+The differential suite pins both checkers to identical verdicts in the
+no-GC configurations where they see the same evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.vclock import Ordering, VectorTimestamp
+from .history import (
+    DecidedOrder,
+    StreamDigest,
+    Violation,
+    apply_entry,
+    combined_digest,
+    commit_entry,
+    read_entry,
+)
+
+StampId = Tuple[int, int, int]
+
+
+class _Commit:
+    """One pending-or-retained commit (mutable: the seq back-patches)."""
+
+    __slots__ = (
+        "tag", "ts", "commit_seq", "writes", "submitted_at", "acked_at",
+        "arrival", "refs",
+    )
+
+    def __init__(self, tag, ts, commit_seq, writes, submitted_at,
+                 acked_at, arrival):
+        self.tag = tag
+        self.ts = ts
+        self.commit_seq = commit_seq
+        self.writes = writes
+        self.submitted_at = submitted_at
+        self.acked_at = acked_at
+        self.arrival = arrival
+        self.refs = 0  # windows currently retaining this commit
+
+    def __repr__(self):
+        return f"_Commit(tag={self.tag}, seq={self.commit_seq})"
+
+
+class _Read:
+    __slots__ = ("query_id", "ts", "reads", "submitted_at", "completed_at")
+
+    def __init__(self, query_id, ts, reads, submitted_at, completed_at):
+        self.query_id = query_id
+        self.ts = ts
+        self.reads = reads
+        self.submitted_at = submitted_at
+        self.completed_at = completed_at
+
+
+class _Apply:
+    __slots__ = ("shard", "key", "ts", "arrival")
+
+    def __init__(self, shard, key, ts, arrival):
+        self.shard = shard
+        self.key = key
+        self.ts = ts
+        self.arrival = arrival
+
+
+class CheckerStats:
+    """Counters and window gauges, exported as ``checker.*``."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.commits = 0
+        self.reads = 0
+        self.applies = 0
+        self.store_joins = 0
+        self.watermarks = 0
+        self.settled = 0
+        self.pruned = 0
+        self.violations = 0
+        self.window_pending = 0
+        self.window_writes = 0
+        self.window_frontier = 0
+        self.window_total = 0
+        self.window_peak = 0
+
+
+class OnlineChecker:
+    """Streaming referee: same taxonomy as ``HistoryChecker``, O(1) amortized.
+
+    ``compare`` is the decided-order relation (see
+    :func:`~repro.verify.history.decided_order`).  Attach with
+    :meth:`attach` (or feed spans to :meth:`consume` directly), let the
+    deployment's ``gc.watermark`` spans drive settlement, and call
+    :meth:`finalize` at end of run to settle the remaining tail and get
+    the verdict.
+    """
+
+    def __init__(self, compare: DecidedOrder, registry=None) -> None:
+        self.compare = compare
+        self.stats = CheckerStats()
+        self.watermark: Optional[VectorTimestamp] = None
+        # Digest accumulators, kept in lockstep with History's.
+        self._commit_digest = StreamDigest()
+        self._read_digest = StreamDigest()
+        self._apply_digests: Dict[int, StreamDigest] = {}
+        # Pending (unsettled) events.
+        self._pending_commits: List[_Commit] = []
+        self._pending_reads: List[_Read] = []
+        self._pending_applies: Dict[int, List[_Apply]] = {}
+        self._pending_by_vertex: Dict[str, List[_Commit]] = {}
+        # store.commit join state, mirroring History's exactly (digest
+        # parity depends on identical provisional-seq behaviour).
+        self._arrivals = 0
+        self._apply_fallback: Dict[int, int] = {}
+        self._store_seqs: Dict[
+            StampId, Tuple[VectorTimestamp, List[int]]
+        ] = {}
+        self._unpatched: Dict[StampId, List[_Commit]] = {}
+        # Settled, retained context (watermark-pruned).
+        self._writes: Dict[str, List[_Commit]] = {}  # per-vertex windows
+        self._frontier: Dict[int, List[_Apply]] = {}  # maximal applies
+        self._stamps: Dict[StampId, _Commit] = {}  # pending + retained
+        self._tags: Dict[Any, _Commit] = {}
+        self._violations: List[Violation] = []
+        self._fired: set = set()
+        if registry is not None:
+            self.register_metrics(registry)
+
+    # -- span intake ----------------------------------------------------
+
+    def attach(self, tracer) -> None:
+        """Subscribe to a trace stream (same contract as History.attach)."""
+        tracer.add_sink(self.consume)
+
+    def consume(self, span) -> None:
+        """Fold one span into the checker; unrelated kinds are ignored."""
+        kind = span.kind
+        if kind == "shard.apply":
+            self._consume_apply(span)
+        elif kind == "store.commit":
+            self._consume_store_commit(span)
+        elif kind == "txn.commit":
+            self._consume_commit(span)
+        elif kind == "program.read":
+            self._consume_read(span)
+        elif kind == "gc.watermark":
+            self.advance_watermark(span.attr("ts"))
+
+    def _consume_commit(self, span) -> None:
+        self.stats.events += 1
+        self.stats.commits += 1
+        ts = span.attr("ts")
+        arrival = self._arrivals
+        self._arrivals += 1
+        seq: Optional[int] = None
+        queued = self._store_seqs.get(ts.id)
+        if queued:
+            seq = queued[1].pop(0)
+            if not queued[1]:
+                del self._store_seqs[ts.id]
+        provisional = seq is None
+        if provisional:
+            seq = arrival
+        commit = _Commit(
+            span.attr("tag"), ts, seq, tuple(span.attr("writes")),
+            span.attr("submitted_at"), span.at, arrival,
+        )
+        if provisional:
+            self._unpatched.setdefault(ts.id, []).append(commit)
+        other = self._stamps.get(ts.id)
+        if other is not None:
+            self._fire(
+                "duplicate-stamp",
+                None,
+                f"transactions {other.tag} and {commit.tag} share "
+                f"timestamp {ts}",
+                other,
+                commit,
+            )
+        else:
+            self._stamps[ts.id] = commit
+        self._tags[commit.tag] = commit
+        self._pending_commits.append(commit)
+        for vertex in dict(commit.writes):
+            self._pending_by_vertex.setdefault(vertex, []).append(commit)
+        self._commit_digest.add(commit_entry(commit))
+
+    def _consume_store_commit(self, span) -> None:
+        seq = span.attr("commit_seq")
+        if seq is None:
+            return
+        self.stats.events += 1
+        self.stats.store_joins += 1
+        ts = span.attr("ts")
+        pending = self._unpatched.get(ts.id)
+        if pending:
+            commit = pending.pop(0)
+            if not pending:
+                del self._unpatched[ts.id]
+            self._commit_digest.discard(commit_entry(commit))
+            commit.commit_seq = seq
+            self._commit_digest.add(commit_entry(commit))
+        else:
+            self._store_seqs.setdefault(ts.id, (ts, []))[1].append(seq)
+
+    def _consume_apply(self, span) -> None:
+        self.stats.events += 1
+        self.stats.applies += 1
+        shard = span.attr("shard")
+        ts = span.attr("ts")
+        apply_seq = span.attr("apply_seq")
+        if apply_seq is not None:
+            key = (span.attr("epoch", 0), apply_seq)
+        else:
+            n = self._apply_fallback.get(shard, 0)
+            self._apply_fallback[shard] = n + 1
+            key = (0, n)
+        record = _Apply(shard, key, ts, self.stats.applies)
+        self._pending_applies.setdefault(shard, []).append(record)
+        self._apply_digests.setdefault(shard, StreamDigest()).add(
+            apply_entry(shard, key, ts.id)
+        )
+
+    def _consume_read(self, span) -> None:
+        self.stats.events += 1
+        self.stats.reads += 1
+        read = _Read(
+            span.attr("query_id"), span.attr("ts"),
+            tuple(span.attr("reads")), span.attr("submitted_at"), span.at,
+        )
+        self._pending_reads.append(read)
+        self._read_digest.add(read_entry(read))
+
+    # -- settlement -----------------------------------------------------
+
+    def advance_watermark(self, watermark: VectorTimestamp) -> None:
+        """Settle and prune everything below ``watermark``.
+
+        Call while the oracle's decisions below the watermark are still
+        live (the deployments emit ``gc.watermark`` spans just before
+        ``collect_below``, so an attached checker gets this for free).
+        """
+        self.stats.watermarks += 1
+        self.watermark = watermark
+        self._settle(watermark)
+        self._prune(watermark)
+        self._refresh_window()
+
+    def finalize(self) -> List[Violation]:
+        """Settle the remaining tail and return every violation found."""
+        self._settle(None)
+        self._refresh_window()
+        return list(self._violations)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return list(self._violations)
+
+    def digest(self) -> str:
+        """Bit-for-bit equal to ``History.digest()`` on the same stream."""
+        return combined_digest(
+            self._commit_digest, self._read_digest, self._apply_digests
+        )
+
+    def window_size(self) -> int:
+        """Retained records: pending events + write windows + frontiers."""
+        self._refresh_window()
+        return self.stats.window_total
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _covered(
+        ts: VectorTimestamp, watermark: Optional[VectorTimestamp]
+    ) -> bool:
+        # The settlement predicate is exactly the GC predicate
+        # (oracle.collect_below): strictly happens-before the watermark.
+        return watermark is None or ts.compare(watermark) is Ordering.BEFORE
+
+    def _fire(self, kind, dedup_key, detail, first, second) -> None:
+        if dedup_key is not None:
+            if (kind, dedup_key) in self._fired:
+                return
+            self._fired.add((kind, dedup_key))
+        self.stats.violations += 1
+        self._violations.append(Violation(kind, detail, first, second))
+
+    def _reversed(self, order: Optional[Ordering]) -> Optional[Ordering]:
+        if order is Ordering.AFTER:
+            return Ordering.BEFORE
+        if order is Ordering.BEFORE:
+            return Ordering.AFTER
+        return order
+
+    def _settle(self, watermark: Optional[VectorTimestamp]) -> None:
+        self._settle_commits(watermark)
+        self._settle_applies(watermark)
+        self._settle_reads(watermark)
+
+    def _take_covered(self, pending: list, watermark) -> list:
+        if watermark is None:
+            taken, pending[:] = list(pending), []
+            return taken
+        taken = [e for e in pending if self._covered(e.ts, watermark)]
+        if taken:
+            pending[:] = [
+                e for e in pending if not self._covered(e.ts, watermark)
+            ]
+        return taken
+
+    def _settle_commits(self, watermark) -> None:
+        batch = self._take_covered(self._pending_commits, watermark)
+        if not batch:
+            return
+        self.stats.settled += len(batch)
+        batch.sort(key=lambda c: (c.commit_seq, c.arrival))
+        for commit in batch:
+            vertices = list(dict(commit.writes))
+            for vertex in vertices:
+                window = self._writes.setdefault(vertex, [])
+                self._check_commit(vertex, window, commit)
+                # Insert in (seq, arrival) position; windows are short
+                # and batches arrive mostly sorted, so scan from the end.
+                i = len(window)
+                key = (commit.commit_seq, commit.arrival)
+                while i > 0 and (
+                    window[i - 1].commit_seq, window[i - 1].arrival
+                ) > key:
+                    i -= 1
+                window.insert(i, commit)
+                commit.refs += 1
+                pend = self._pending_by_vertex.get(vertex)
+                if pend is not None:
+                    pend.remove(commit)
+                    if not pend:
+                        del self._pending_by_vertex[vertex]
+
+    def _check_commit(self, vertex, window, commit) -> None:
+        for other in window:
+            if (other.commit_seq, other.arrival) <= (
+                commit.commit_seq, commit.arrival
+            ):
+                earlier, later = other, commit
+            else:
+                earlier, later = commit, other
+            order = self.compare(earlier.ts, later.ts)
+            if order is Ordering.AFTER:
+                self._fire(
+                    "commit-order", vertex,
+                    f"writes to {vertex!r}: tx {earlier.tag} committed "
+                    f"before tx {later.tag} but its timestamp is decided "
+                    f"after",
+                    earlier, later,
+                )
+            if (
+                earlier.acked_at < later.submitted_at
+                and order is Ordering.AFTER
+            ):
+                self._fire(
+                    "real-time-write", vertex,
+                    f"tx {earlier.tag} on {vertex!r} was acked before tx "
+                    f"{later.tag} was submitted, yet is decided after it",
+                    earlier, later,
+                )
+            if (
+                later.acked_at < earlier.submitted_at
+                and self._reversed(order) is Ordering.AFTER
+            ):
+                self._fire(
+                    "real-time-write", vertex,
+                    f"tx {later.tag} on {vertex!r} was acked before tx "
+                    f"{earlier.tag} was submitted, yet is decided after it",
+                    later, earlier,
+                )
+
+    def _settle_applies(self, watermark) -> None:
+        for shard, pending in list(self._pending_applies.items()):
+            batch = self._take_covered(pending, watermark)
+            if not batch:
+                continue
+            self.stats.settled += len(batch)
+            batch.sort(key=lambda a: (a.key, a.arrival))
+            frontier = self._frontier.setdefault(shard, [])
+            for record in batch:
+                # Offline parity: only applies of *known* commits are
+                # order-checked (a commit whose txn.commit span never
+                # arrived has no decided position to defend).
+                if record.ts.id not in self._stamps:
+                    continue
+                kept: List[_Apply] = []
+                for front in frontier:
+                    if front.key <= record.key:
+                        order = self.compare(front.ts, record.ts)
+                        if order is Ordering.AFTER:
+                            self._fire_apply(shard, front, record)
+                        if order is Ordering.BEFORE:
+                            continue  # dominated: safe to forget
+                    else:
+                        # A late straggler: `record` was applied earlier
+                        # by key even though it settles after `front`.
+                        if self.compare(
+                            record.ts, front.ts
+                        ) is Ordering.AFTER:
+                            self._fire_apply(shard, record, front)
+                    kept.append(front)
+                kept.append(record)
+                self._frontier[shard] = frontier = kept
+            if not pending:
+                del self._pending_applies[shard]
+
+    def _fire_apply(self, shard, earlier: _Apply, later: _Apply) -> None:
+        first = self._stamps.get(earlier.ts.id, earlier)
+        second = self._stamps.get(later.ts.id, later)
+        tag_a = getattr(first, "tag", earlier.ts.id)
+        tag_b = getattr(second, "tag", later.ts.id)
+        self._fire(
+            "apply-order", shard,
+            f"shard {shard} applied tx {tag_a} before tx {tag_b} "
+            f"against the decided timestamp order",
+            first, second,
+        )
+
+    def _vertex_chain(self, vertex: str):
+        yield from self._writes.get(vertex, ())
+        yield from self._pending_by_vertex.get(vertex, ())
+
+    def _settle_reads(self, watermark) -> None:
+        batch = self._take_covered(self._pending_reads, watermark)
+        if not batch:
+            return
+        self.stats.settled += len(batch)
+        for read in batch:
+            for vertex, observed_tag in read.reads:
+                observed: Optional[_Commit] = None
+                if observed_tag is not None:
+                    observed = self._tags.get(observed_tag)
+                    if observed is None:
+                        self._fire(
+                            "phantom-read", None,
+                            f"program {read.query_id} read tag "
+                            f"{observed_tag!r} on {vertex!r}, which no "
+                            f"committed transaction wrote",
+                            read, None,
+                        )
+                        continue
+                    if self.compare(
+                        observed.ts, read.ts
+                    ) is Ordering.AFTER:
+                        self._fire(
+                            "future-read", None,
+                            f"program {read.query_id} on {vertex!r} "
+                            f"observed tx {observed.tag}, decided after "
+                            f"the program's timestamp",
+                            read, observed,
+                        )
+                        continue
+                floor = observed.commit_seq if observed is not None else -1
+                for newer in self._vertex_chain(vertex):
+                    if newer.commit_seq <= floor:
+                        continue
+                    if self.compare(newer.ts, read.ts) is Ordering.BEFORE:
+                        self._fire(
+                            "stale-read", (read.query_id, vertex),
+                            f"program {read.query_id} on {vertex!r} "
+                            f"missed tx {newer.tag}, decided before the "
+                            f"program's timestamp",
+                            read, newer,
+                        )
+                        break
+                for write in self._vertex_chain(vertex):
+                    if write.acked_at >= read.submitted_at:
+                        continue
+                    if write.commit_seq > floor:
+                        self._fire(
+                            "real-time-read", (read.query_id, vertex),
+                            f"program {read.query_id} on {vertex!r} "
+                            f"missed tx {write.tag}, acked before the "
+                            f"program was submitted",
+                            read, write,
+                        )
+                        break
+
+    # -- pruning --------------------------------------------------------
+
+    def _release(self, commit: _Commit) -> None:
+        commit.refs -= 1
+        if commit.refs > 0:
+            return
+        if self._stamps.get(commit.ts.id) is commit:
+            del self._stamps[commit.ts.id]
+        if self._tags.get(commit.tag) is commit:
+            del self._tags[commit.tag]
+
+    def _prune(self, watermark: VectorTimestamp) -> None:
+        for vertex in list(self._writes):
+            window = self._writes[vertex]
+            floor_idx = None
+            for i in range(len(window) - 1, -1, -1):
+                if self._covered(window[i].ts, watermark):
+                    floor_idx = i
+                    break
+            if floor_idx:  # keep the newest covered write as the floor
+                for dead in window[:floor_idx]:
+                    self._release(dead)
+                del window[:floor_idx]
+                self.stats.pruned += floor_idx
+        for shard, frontier in self._frontier.items():
+            if len(frontier) <= 1:
+                continue
+            keep = [
+                f for f in frontier if not self._covered(f.ts, watermark)
+            ]
+            if not keep:
+                keep = [max(frontier, key=lambda f: f.key)]
+            self.stats.pruned += len(frontier) - len(keep)
+            self._frontier[shard] = keep
+        # Orphaned join state below the watermark can never match now.
+        for stamp_id, (ts, _seqs) in list(self._store_seqs.items()):
+            if self._covered(ts, watermark):
+                del self._store_seqs[stamp_id]
+                self.stats.pruned += 1
+        for stamp_id, commits in list(self._unpatched.items()):
+            if all(self._covered(c.ts, watermark) for c in commits):
+                del self._unpatched[stamp_id]
+
+    def _refresh_window(self) -> None:
+        stats = self.stats
+        stats.window_pending = (
+            len(self._pending_commits)
+            + len(self._pending_reads)
+            + sum(len(v) for v in self._pending_applies.values())
+        )
+        stats.window_writes = sum(len(w) for w in self._writes.values())
+        stats.window_frontier = sum(
+            len(f) for f in self._frontier.values()
+        )
+        stats.window_total = (
+            stats.window_pending + stats.window_writes
+            + stats.window_frontier
+        )
+        stats.window_peak = max(stats.window_peak, stats.window_total)
+
+    # -- metrics --------------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Export counters and gauges under ``checker.*`` /
+        ``checker.window.*`` (see tools/check_stats_registry.py)."""
+        from ..obs.collect import scalar_fields
+
+        def collect() -> Dict[str, float]:
+            self._refresh_window()
+            out = {}
+            for key, value in scalar_fields(self.stats).items():
+                if key.startswith("window_"):
+                    out[f"checker.window.{key[len('window_'):]}"] = value
+                else:
+                    out[f"checker.{key}"] = value
+            return out
+
+        registry.register_collector(collect)

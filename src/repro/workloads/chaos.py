@@ -22,6 +22,7 @@ chains and read positions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,6 +33,7 @@ from ..sim.clock import MSEC, USEC
 from ..sim.deployment import SimulatedWeaver
 from ..sim.faults import FaultPlan
 from ..verify.history import History, HistoryChecker, Violation, decided_order
+from ..verify.online import OnlineChecker
 from .contention import ZipfSampler
 
 
@@ -98,10 +100,15 @@ class ChaosReport:
     read_latency: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     tracer: Optional[object] = None
+    # With ``online=True``: the streaming checker's verdict and digest,
+    # plus the checker itself (window gauges, stats).
+    online_violations: List[Violation] = field(default_factory=list)
+    online_digest: str = ""
+    online: Optional[OnlineChecker] = None
 
     @property
     def consistent(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.online_violations
 
 
 def run_chaos(
@@ -117,6 +124,7 @@ def run_chaos(
     drain: float = 80 * MSEC,
     tau: float = 100 * USEC,
     nop_period: float = 100 * USEC,
+    online: bool = False,
 ) -> ChaosReport:
     """One seeded chaos run; returns the checked :class:`ChaosReport`.
 
@@ -150,6 +158,16 @@ def run_chaos(
     # apply sequences, and the workload emits txn.commit / program.read
     # spans below instead of calling record_* directly.
     history.attach(sim.tracer)
+    checker: Optional[OnlineChecker] = None
+    if online:
+        # The streaming referee rides the same stream; with chaos's
+        # one-pass-after-the-horizon GC it settles everything at
+        # finalize, so its verdict and digest must match the offline
+        # checker's exactly (the differential suite's invariant).
+        checker = OnlineChecker(
+            decided_order(sim.oracle), registry=sim.metrics
+        )
+        checker.attach(sim.tracer)
     report = ChaosReport(seed=seed, duration=duration)
 
     vertices = [f"v{i}" for i in range(num_vertices)]
@@ -254,10 +272,394 @@ def run_chaos(
     report.faults = dict(sim.network.stats.faults)
     report.history = history
     report.digest = history.digest()
-    checker = HistoryChecker(history, decided_order(sim.oracle))
-    report.violations = checker.check()
+    offline = HistoryChecker(history, decided_order(sim.oracle))
+    report.violations = offline.check()
+    if checker is not None:
+        report.online_violations = checker.finalize()
+        report.online_digest = checker.digest()
+        report.online = checker
     report.tx_latency = sim.latency_tx.summary()
     report.read_latency = sim.latency_program.summary()
     report.metrics = sim.metrics.snapshot()
     report.tracer = sim.tracer
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Soak: long-running chunked workload with the online referee always on.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run produced (see :func:`run_soak`)."""
+
+    seed: int
+    transport: str
+    chunks: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads_completed: int = 0
+    reads_lost: int = 0
+    recoveries: int = 0
+    watermarks: int = 0
+    wall_seconds: float = 0.0
+    throughput: float = 0.0  # commits per wall-clock second
+    # Parity: online digest vs offline History digest, per chunk + final.
+    parity_checks: int = 0
+    parity_failures: int = 0
+    digest: str = ""
+    offline_digest: str = ""
+    online_violations: List[Violation] = field(default_factory=list)
+    offline_violations: List[Violation] = field(default_factory=list)
+    # Memory bound: retained-window size sampled after each chunk, and
+    # the commit count at the same instants (growth vs flatness).
+    window_samples: List[int] = field(default_factory=list)
+    committed_samples: List[int] = field(default_factory=list)
+    window_peak: int = 0
+    window_final: int = 0
+    pruned: int = 0
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.online_violations
+            and not self.offline_violations
+            and self.parity_failures == 0
+        )
+
+
+def run_soak(
+    seed: int,
+    transport: str = "sim",
+    chunks: Optional[int] = None,
+    wall_seconds: Optional[float] = None,
+    chunk_horizon: float = 30 * MSEC,
+    num_vertices: int = 12,
+    skew: float = 0.8,
+    tx_period: float = 800 * USEC,
+    read_period: float = 1900 * USEC,
+    crash_every: int = 4,
+    config: Optional[WeaverConfig] = None,
+    parity: bool = True,
+    offline_check: bool = True,
+) -> SoakReport:
+    """A long-running seeded Zipf + fault workload, referee always on.
+
+    The run is *chunked*: each chunk drives ``chunk_horizon`` of Zipf
+    writes/reads (sim) or a fixed op batch (process transport), with a
+    crash-and-recover injected every ``crash_every`` chunks and the GC
+    watermark advancing throughout — so the :class:`OnlineChecker`
+    settles and prunes continuously instead of buffering the whole run.
+    After every chunk the harness samples the checker's retained-window
+    size and asserts digest parity against the offline :class:`History`
+    fed from the same span stream.
+
+    Stop condition: ``chunks`` (deterministic, used by tests) or
+    ``wall_seconds`` (the CLI's ``repro soak --duration``); with
+    neither, 8 chunks.
+    """
+    if transport not in ("sim", "process"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if chunks is None and wall_seconds is None:
+        chunks = 8
+    if transport == "sim":
+        return _soak_sim(
+            seed, chunks, wall_seconds, chunk_horizon, num_vertices,
+            skew, tx_period, read_period, crash_every, config, parity,
+            offline_check,
+        )
+    return _soak_process(
+        seed, chunks, wall_seconds, num_vertices, skew, crash_every,
+        config, parity, offline_check,
+    )
+
+
+def _soak_sim(
+    seed, chunks, wall_seconds, chunk_horizon, num_vertices, skew,
+    tx_period, read_period, crash_every, config, parity, offline_check,
+) -> SoakReport:
+    config = config or WeaverConfig()
+    # Message-level faults stay on for the whole run; crashes are
+    # injected per chunk below so an unbounded run keeps faulting.
+    plan = (
+        FaultPlan(seed=seed)
+        .drop(0.03)
+        .duplicate(0.03)
+        .delay(0.08, extra_delay=200 * USEC)
+    )
+    sim = SimulatedWeaver(
+        config=config,
+        tau=100 * USEC,
+        nop_period=100 * USEC,
+        heartbeat_period=2 * MSEC,
+        # Live GC: the watermark advances twice per chunk, which is the
+        # whole point — the online checker must keep up with pruning.
+        gc_period=chunk_horizon / 2,
+        fault_plan=plan,
+    )
+    report = SoakReport(seed=seed, transport="sim")
+    checker = OnlineChecker(decided_order(sim.oracle), registry=sim.metrics)
+    checker.attach(sim.tracer)
+    history: Optional[History] = None
+    if parity:
+        history = History()
+        history.attach(sim.tracer)
+
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    sampler = ZipfSampler(num_vertices, skew, seed=seed)
+    tags = iter(range(10**9))
+
+    def submit_write(targets: List[str]) -> None:
+        tag = next(tags)
+        submitted_at = sim.simulator.now
+        ops = [SetVertexProperty(v, "w", tag) for v in targets]
+
+        def on_commit(ok: bool, ts_or_exc) -> None:
+            if ok:
+                sim.tracer.emit(
+                    trace_id, "txn.commit", node="client",
+                    tag=tag, ts=ts_or_exc,
+                    writes=tuple((v, tag) for v in targets),
+                    submitted_at=submitted_at,
+                )
+            else:
+                report.aborted += 1
+
+        trace_id = sim.submit_transaction(ops, callback=on_commit)
+
+    def submit_read(target: str) -> None:
+        query_id = next(tags)
+        submitted_at = sim.simulator.now
+
+        def on_result(result) -> None:
+            if result is None:
+                report.reads_lost += 1
+                return
+            observed = None
+            if result.results:
+                observed = result.results[0]["properties"].get("w")
+            sim.tracer.emit(
+                trace_id, "program.read", node="client",
+                query_id=query_id, ts=result.timestamp,
+                reads=((target, observed),), submitted_at=submitted_at,
+            )
+            report.reads_completed += 1
+
+        trace_id = sim.submit_program(GetNode(), target, callback=on_result)
+
+    for vertex in vertices:
+        tag = next(tags)
+        submitted_at = sim.simulator.now
+        setup_trace = []
+
+        def on_setup(ok, ts_or_exc, tag=tag, vertex=vertex,
+                     submitted_at=submitted_at,
+                     setup_trace=setup_trace) -> None:
+            if ok:
+                sim.tracer.emit(
+                    setup_trace[0], "txn.commit", node="client",
+                    tag=tag, ts=ts_or_exc, writes=((vertex, tag),),
+                    submitted_at=submitted_at,
+                )
+
+        setup_trace.append(sim.submit_transaction(
+            [CreateVertex(vertex), SetVertexProperty(vertex, "w", tag)],
+            callback=on_setup,
+            new_vertices=(vertex,),
+        ))
+        sim.run(100 * USEC)
+    sim.run(2 * MSEC)
+
+    started = time.monotonic()
+    deadline = None if wall_seconds is None else started + wall_seconds
+    chunk = 0
+    while True:
+        if chunks is not None and chunk >= chunks:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        if crash_every and chunk % crash_every == crash_every - 1:
+            cycle = chunk // crash_every
+            if cycle % 2 == 0:
+                sim.crash_shard((seed + cycle) % config.num_shards)
+            else:
+                sim.crash_gatekeeper(
+                    (seed + cycle) % config.num_gatekeepers
+                )
+        horizon = sim.simulator.now + chunk_horizon
+        next_tx = sim.simulator.now + tx_period
+        next_read = sim.simulator.now + read_period
+        while min(next_tx, next_read) < horizon:
+            if next_tx <= next_read:
+                sim.run(next_tx - sim.simulator.now)
+                first = vertices[sampler.sample()]
+                second = vertices[sampler.sample()]
+                submit_write(
+                    [first] if first == second else [first, second]
+                )
+                next_tx += tx_period
+            else:
+                sim.run(next_read - sim.simulator.now)
+                submit_read(vertices[sampler.sample()])
+                next_read += read_period
+        sim.run(horizon - sim.simulator.now)
+        chunk += 1
+        report.window_samples.append(checker.window_size())
+        report.committed_samples.append(checker.stats.commits)
+        if history is not None:
+            report.parity_checks += 1
+            if history.digest() != checker.digest():
+                report.parity_failures += 1
+
+    sim.run(chunk_horizon * 0.5)
+    sim.run_until_quiet(max_extra=80 * MSEC)
+    report.chunks = chunk
+    report.wall_seconds = time.monotonic() - started
+    report.online_violations = checker.finalize()
+    report.digest = checker.digest()
+    if history is not None:
+        report.offline_digest = history.digest()
+        report.parity_checks += 1
+        if report.offline_digest != report.digest:
+            report.parity_failures += 1
+        if offline_check:
+            # Mid-run GC already collected old decisions, so this pass
+            # is weaker than the online one — but still sound, and it
+            # cross-checks the shared taxonomy end to end.
+            offline = HistoryChecker(history, decided_order(sim.oracle))
+            report.offline_violations = offline.check()
+    report.committed = checker.stats.commits
+    report.recoveries = sim.recoveries
+    report.watermarks = checker.stats.watermarks
+    report.pruned = checker.stats.pruned
+    report.window_peak = checker.stats.window_peak
+    report.window_final = checker.window_size()
+    if report.wall_seconds > 0:
+        report.throughput = report.committed / report.wall_seconds
+    report.metrics = sim.metrics.snapshot()
+    return report
+
+
+def _soak_process(
+    seed, chunks, wall_seconds, num_vertices, skew, crash_every, config,
+    parity, offline_check, writes_per_chunk: int = 10,
+    reads_per_chunk: int = 3,
+) -> SoakReport:
+    from ..cluster.process import ProcessWeaver
+
+    config = config or WeaverConfig(num_shards=2, num_gatekeepers=2)
+    report = SoakReport(seed=seed, transport="process")
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    sampler = ZipfSampler(num_vertices, skew, seed=seed)
+    tags = iter(range(10**9))
+
+    with ProcessWeaver(config) as db:
+        checker = OnlineChecker(
+            decided_order(db.oracle), registry=db.metrics
+        )
+        checker.attach(db.tracer)
+        history: Optional[History] = None
+        if parity:
+            history = History()
+            history.attach(db.tracer)
+
+        def write(targets: List[str]) -> None:
+            tag = next(tags)
+            submitted_at = time.perf_counter()
+            tx = db.begin_transaction()
+            for target in targets:
+                tx.set_property(target, "w", tag)
+            ts = tx.commit()
+            db.tracer.emit(
+                tx.trace_id, "txn.commit", node="client",
+                at=time.perf_counter(), tag=tag, ts=ts,
+                writes=tuple((t, tag) for t in targets),
+                submitted_at=submitted_at,
+            )
+
+        def read(target: str) -> None:
+            query_id = next(tags)
+            submitted_at = time.perf_counter()
+            result = db.run_program(GetNode(), target)
+            observed = result.value["properties"].get("w")
+            db.tracer.emit(
+                db.tracer.next_trace_id(), "program.read", node="client",
+                at=time.perf_counter(), query_id=query_id,
+                ts=result.timestamp, reads=((target, observed),),
+                submitted_at=submitted_at,
+            )
+            report.reads_completed += 1
+
+        for vertex in vertices:
+            tag = next(tags)
+            submitted_at = time.perf_counter()
+            tx = db.begin_transaction()
+            tx.create_vertex(vertex)
+            tx.set_property(vertex, "w", tag)
+            ts = tx.commit()
+            db.tracer.emit(
+                tx.trace_id, "txn.commit", node="client",
+                at=time.perf_counter(), tag=tag, ts=ts,
+                writes=((vertex, tag),), submitted_at=submitted_at,
+            )
+        db.drain()
+
+        started = time.monotonic()
+        deadline = None if wall_seconds is None else started + wall_seconds
+        chunk = 0
+        while True:
+            if chunks is not None and chunk >= chunks:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if crash_every and chunk % crash_every == crash_every - 1:
+                victim = (seed + chunk // crash_every) % config.num_shards
+                db.kill_shard_worker(victim)
+                db.recover_shard(victim)
+            for i in range(writes_per_chunk):
+                first = vertices[sampler.sample()]
+                second = vertices[sampler.sample()]
+                write([first] if first == second else [first, second])
+                if i % (writes_per_chunk // reads_per_chunk + 1) == 1:
+                    read(vertices[sampler.sample()])
+            db.drain()
+            # Advance the GC watermark: emits the gc.watermark span the
+            # checker settles on, then collects below it.
+            db.collect_garbage()
+            chunk += 1
+            report.window_samples.append(checker.window_size())
+            report.committed_samples.append(checker.stats.commits)
+            if history is not None:
+                report.parity_checks += 1
+                if history.digest() != checker.digest():
+                    report.parity_failures += 1
+
+        db.drain()
+        read(vertices[0])
+        read(vertices[1])
+        report.chunks = chunk
+        report.wall_seconds = time.monotonic() - started
+        report.online_violations = checker.finalize()
+        report.digest = checker.digest()
+        if history is not None:
+            report.offline_digest = history.digest()
+            report.parity_checks += 1
+            if report.offline_digest != report.digest:
+                report.parity_failures += 1
+            if offline_check:
+                offline = HistoryChecker(
+                    history, decided_order(db.oracle)
+                )
+                report.offline_violations = offline.check()
+        report.committed = checker.stats.commits
+        report.recoveries = db.recoveries
+        report.watermarks = checker.stats.watermarks
+        report.pruned = checker.stats.pruned
+        report.window_peak = checker.stats.window_peak
+        report.window_final = checker.window_size()
+        if report.wall_seconds > 0:
+            report.throughput = report.committed / report.wall_seconds
+        report.metrics = db.metrics.snapshot()
     return report

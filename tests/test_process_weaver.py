@@ -11,6 +11,7 @@ mid-run with a recovery, zero strict-serializability violations, and a
 clean history digest.
 """
 
+import random
 import time
 
 import pytest
@@ -18,6 +19,8 @@ import pytest
 from repro.cluster.process import ProcessWeaver
 from repro.db import Weaver, WeaverConfig
 from repro.obs import assemble_chain
+from repro.verify.history import History, HistoryChecker, decided_order
+from repro.verify.online import OnlineChecker
 from repro.programs.library import (
     CollectReachable,
     CountEdges,
@@ -25,7 +28,6 @@ from repro.programs.library import (
     Reachability,
     params,
 )
-from repro.verify.history import History, HistoryChecker, decided_order
 from repro.workloads.contention import ZipfSampler
 
 
@@ -221,3 +223,101 @@ class TestChaosKillAndRecover:
         digest = history.digest()
         assert len(digest) == 64
         assert digest == history.digest()  # stable over re-rendering
+
+
+class TestShuffledSpanDelivery:
+    """Satellite: span arrival order is a transport artifact, not a
+    semantic one.  Worker spans ride reply frames and can interleave
+    arbitrarily with client-side spans, so the history must reconstruct
+    the same record multiset — same digest, same verdict — from any
+    permutation of a real cross-process run's span stream."""
+
+    def test_replayed_shuffled_spans_reproduce_history(self):
+        config = WeaverConfig(num_shards=2, num_gatekeepers=2)
+        history = History()
+        recorded = []
+        tags = iter(range(10**6))
+        vertices = [f"s{i}" for i in range(6)]
+        sampler = ZipfSampler(len(vertices), 0.8, seed=23)
+
+        with ProcessWeaver(config) as db:
+            db.tracer.add_sink(recorded.append)
+            history.attach(db.tracer)
+
+            def write(targets):
+                tag = next(tags)
+                submitted_at = time.perf_counter()
+                tx = db.begin_transaction()
+                for target in targets:
+                    tx.set_property(target, "w", tag)
+                ts = tx.commit()
+                db.tracer.emit(
+                    tx.trace_id, "txn.commit", node="client",
+                    at=time.perf_counter(),
+                    tag=tag, ts=ts,
+                    writes=tuple((t, tag) for t in targets),
+                    submitted_at=submitted_at,
+                )
+
+            def read(target):
+                query_id = next(tags)
+                submitted_at = time.perf_counter()
+                result = db.run_program(GetNode(), target)
+                observed = result.value["properties"].get("w")
+                db.tracer.emit(
+                    db.tracer.next_trace_id(), "program.read",
+                    node="client", query_id=query_id,
+                    at=time.perf_counter(),
+                    ts=result.timestamp,
+                    reads=((target, observed),),
+                    submitted_at=submitted_at,
+                )
+
+            for vertex in vertices:
+                tag = next(tags)
+                submitted_at = time.perf_counter()
+                tx = db.begin_transaction()
+                tx.create_vertex(vertex)
+                tx.set_property(vertex, "w", tag)
+                ts = tx.commit()
+                db.tracer.emit(
+                    tx.trace_id, "txn.commit", node="client",
+                    at=time.perf_counter(),
+                    tag=tag, ts=ts, writes=((vertex, tag),),
+                    submitted_at=submitted_at,
+                )
+            db.drain()
+
+            for i in range(8):
+                first = vertices[sampler.sample()]
+                second = vertices[sampler.sample()]
+                write([first] if first == second else [first, second])
+                if i % 3 == 2:
+                    read(vertices[sampler.sample()])
+            # A kill/recover mid-run puts applies from two shard epochs
+            # in the stream — the hard case for order reconstruction.
+            db.kill_shard_worker(1)
+            db.recover_shard(1)
+            for _ in range(4):
+                write([vertices[sampler.sample()]])
+            db.drain()
+            read(vertices[0])
+
+            compare = decided_order(db.oracle)
+            base_digest = history.digest()
+            assert HistoryChecker(history, compare).check() == []
+            assert any(s.kind == "shard.apply" for s in recorded)
+
+            rng = random.Random(7)
+            for _ in range(3):
+                shuffled = list(recorded)
+                rng.shuffle(shuffled)
+                replayed = History()
+                online = OnlineChecker(compare)
+                for span in shuffled:
+                    replayed.consume(span)
+                    online.consume(span)
+                assert replayed.digest() == base_digest
+                assert online.digest() == base_digest
+                assert HistoryChecker(replayed, compare).check() == []
+                assert online.finalize() == []

@@ -37,6 +37,9 @@ ABSORBED = {
     "NetworkStats": "network.*",
     "ProgramStats": "program.*",
     "TransportStats": "transport.*",
+    # Exported by OnlineChecker.register_metrics, not the collect-layer
+    # helper: the checker rides whichever deployment it is attached to.
+    "CheckerStats": "checker.*",
 }
 
 # Deliberately outside the registry, with the reason on record.
