@@ -116,6 +116,28 @@ def test_transport_structural_counters():
     assert snap["transport.requests_pipelined"] > 0
 
 
+def test_page_cache_structural_counters():
+    """The durable store's page cache must keep its structural wins:
+    hot reads are served from memory, a budget smaller than the data
+    evicts instead of growing without bound, and the resident-bytes
+    gauge tracks the budget — counts, not wall clock."""
+    from repro.store.durable import DurableStore
+
+    budget = 4096
+    with DurableStore(cache_bytes=budget) as store:
+        for i in range(100):
+            store.transact(lambda t, i=i: t.put(f"k{i}", "x" * 100))
+        for i in range(100):
+            store.get(f"k{i}")
+        for _ in range(50):
+            store.get("k99")  # hot key: must be cache hits
+        stats = store.stats
+        assert stats.page_cache_hits >= 50
+        assert stats.page_cache_evictions > 0
+        assert stats.page_cache_bytes <= budget
+        assert stats.page_cache_bytes == store._cache_size
+
+
 def test_readiness_fastpath_skips_second_storm():
     """Re-running at an already-served timestamp skips the NOP storm."""
     db, handles = build_database(num_vertices=60, avg_degree=4)

@@ -245,10 +245,13 @@ def _cmd_soak(args) -> int:
         skew=args.skew,
         parity=not args.no_parity,
         offline_check=not args.no_offline,
+        store=args.store,
+        store_cache_bytes=args.store_cache,
     )
     rows = [
         ("seed", report.seed),
         ("transport", report.transport),
+        ("store", report.store),
         ("chunks", report.chunks),
         ("wall time (s)", round(report.wall_seconds, 2)),
         ("committed", report.committed),
@@ -533,6 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run exactly N chunks instead of --duration")
     soak.add_argument("--transport", choices=("sim", "process"),
                       default="sim")
+    soak.add_argument("--store", choices=("memory", "sqlite"),
+                      default="memory",
+                      help="backing store: in-memory version chains or "
+                           "the durable SQLite/WAL backend (temporary "
+                           "database, removed after the run)")
+    soak.add_argument("--store-cache", type=int, default=None,
+                      help="sqlite page-cache budget in bytes (small "
+                           "values soak the larger-than-RAM paths)")
     soak.add_argument("--chunk", type=float, default=30,
                       help="sim chunk horizon in milliseconds")
     soak.add_argument("--vertices", type=int, default=12)

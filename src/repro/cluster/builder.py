@@ -71,10 +71,16 @@ def build_cluster(
     deployment-specific collectors under their existing dotted names.
     """
     cfg = config or WeaverConfig()
-    if use_store_nodes and cfg.store_nodes:
+    if cfg.store_backend == "sqlite":
+        from ..store.durable import DurableStore
+
+        store: Any = DurableStore(
+            cfg.store_path, cache_bytes=cfg.store_cache_bytes
+        )
+    elif use_store_nodes and cfg.store_nodes:
         from ..store.distributed import DistributedStore
 
-        store: Any = DistributedStore(cfg.store_nodes, cfg.store_replication)
+        store = DistributedStore(cfg.store_nodes, cfg.store_replication)
     else:
         store = TransactionalStore()
     mapping = ShardMapping(store, cfg.num_shards)
@@ -129,6 +135,7 @@ def build_cluster(
         network=network,
         programs=lambda: parts.executor.stats,
         transport=transport_stats,
+        store=lambda: parts.store.stats,
         extra=extra,
     )
     return parts

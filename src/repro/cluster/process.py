@@ -297,6 +297,7 @@ class ProcessWeaver:
         epoch: int = 0,
         image: Optional[tuple] = None,
         recovery_ts: Optional[VectorTimestamp] = None,
+        store_path: Optional[str] = None,
     ) -> None:
         parent_sock, child_sock = socket.socketpair(
             socket.AF_UNIX, socket.SOCK_STREAM
@@ -312,6 +313,7 @@ class ProcessWeaver:
                 epoch,
                 image,
                 recovery_ts,
+                store_path,
             ),
             daemon=True,
         )
@@ -536,7 +538,14 @@ class ProcessWeaver:
             self._request_all_shards("collect_below", watermark)
         )
         oracle_reclaimed = self.oracle.collect_below(watermark)
-        return {"graph": graph_reclaimed, "oracle": oracle_reclaimed}
+        store_reclaimed = self.store.collect_below(
+            self.store.safe_compact_version()
+        )
+        return {
+            "graph": graph_reclaimed,
+            "oracle": oracle_reclaimed,
+            "store": store_reclaimed,
+        }
 
     # -- failure handling -----------------------------------------------
 
@@ -572,21 +581,39 @@ class ProcessWeaver:
         self._request_all_shards("advance_epoch", self._epoch)
         self._channel_seqno.clear()
         recovery_ts = self.gatekeepers[0].issue_timestamp()
-        placement = {v: s for v, s in self.mapping.items()}
-        vertices, edges = graph_state_from_store(self.store.snapshot())
-        image = (
-            {
-                h: props for h, props in vertices.items()
-                if placement.get(h) == index
-            },
-            {
-                key: record for key, record in edges.items()
-                if placement.get(key[0]) == index
-            },
-        )
-        self._spawn_worker(
-            index, epoch=self._epoch, image=image, recovery_ts=recovery_ts
-        )
+        if (
+            self.config.store_backend == "sqlite"
+            and self.config.store_path != ":memory:"
+        ):
+            # Real crash recovery: the replacement worker reopens the
+            # WAL-backed database itself and carves out its partition —
+            # nothing graph-shaped crosses the fork.  Checkpoint first
+            # so the worker's read-only open sees every commit even if
+            # the WAL file is sidestepped by its snapshot read.
+            self.store._conn.execute("PRAGMA wal_checkpoint(PASSIVE)")
+            self._spawn_worker(
+                index,
+                epoch=self._epoch,
+                recovery_ts=recovery_ts,
+                store_path=self.config.store_path,
+            )
+        else:
+            placement = {v: s for v, s in self.mapping.items()}
+            vertices, edges = graph_state_from_store(self.store.snapshot())
+            image = (
+                {
+                    h: props for h, props in vertices.items()
+                    if placement.get(h) == index
+                },
+                {
+                    key: record for key, record in edges.items()
+                    if placement.get(key[0]) == index
+                },
+            )
+            self._spawn_worker(
+                index, epoch=self._epoch, image=image,
+                recovery_ts=recovery_ts,
+            )
         self.recoveries += 1
 
     # -- statistics ------------------------------------------------------
@@ -662,6 +689,8 @@ class ProcessWeaver:
             os.rmdir(self._tmpdir)
         except OSError:
             pass
+        if hasattr(self.store, "close"):
+            self.store.close()
 
     def __enter__(self) -> "ProcessWeaver":
         return self

@@ -177,6 +177,7 @@ class _ShardWorker:
         epoch: int = 0,
         image: Optional[tuple] = None,
         recovery_ts: Optional[VectorTimestamp] = None,
+        store_path: Optional[str] = None,
     ):
         self.shard = ShardServer(
             index, num_gatekeepers, oracle, use_ordering_cache
@@ -186,11 +187,36 @@ class _ShardWorker:
         self.stragglers_dropped = 0
         if epoch > 0:
             self.shard.advance_epoch(epoch)
+        if store_path is not None and recovery_ts is not None:
+            image = self._image_from_store(store_path)
         if image is not None and recovery_ts is not None:
             self._load_image(image, recovery_ts)
         # Per-query snapshot views (+ resolved-vertex memo), dropped on
         # the client's finish message.
         self._queries: Dict[int, tuple] = {}
+
+    def _image_from_store(self, store_path: str) -> tuple:
+        """Reopen the durable database and carve out this shard's
+        partition — real crash recovery: the WAL-backed file on disk,
+        not a dict snapshot pickled across the fork, is the image."""
+        from ..db.operations import graph_state_from_store
+        from ..store.durable import DurableStore
+        from ..store.mapping import placement_from_store
+
+        with DurableStore(store_path, read_only=True) as store:
+            placement = placement_from_store(store)
+            vertices, edges = graph_state_from_store(store.snapshot())
+        index = self.shard.index
+        return (
+            {
+                h: props for h, props in vertices.items()
+                if placement.get(h) == index
+            },
+            {
+                key: record for key, record in edges.items()
+                if placement.get(key[0]) == index
+            },
+        )
 
     def _load_image(self, image: tuple, ts: VectorTimestamp) -> None:
         """Install a recovery image (``graph_state_from_store`` shape,
@@ -309,6 +335,7 @@ def shard_worker_main(
     epoch: int = 0,
     image: Optional[tuple] = None,
     recovery_ts: Optional[VectorTimestamp] = None,
+    store_path: Optional[str] = None,
 ) -> None:
     """Entry point of one shard worker process."""
     oracle = (
@@ -317,6 +344,7 @@ def shard_worker_main(
     worker = _ShardWorker(
         index, num_gatekeepers, oracle, use_ordering_cache,
         epoch=epoch, image=image, recovery_ts=recovery_ts,
+        store_path=store_path,
     )
     try:
         while True:

@@ -35,6 +35,15 @@ class WeaverConfig:
             Warp-style linear transactions and replication.
         store_replication: replicas per key when the store is
             distributed (>= 2 survives any single store-node failure).
+        store_backend: "memory" keeps version chains in the Python heap
+            (the historical default); "sqlite" persists them in a
+            SQLite/WAL database so committed state survives kill -9 and
+            the graph can exceed RAM.  Incompatible with ``store_nodes``
+            (the distributed store is an in-memory deployment shape).
+        store_path: database file for the sqlite backend (":memory:"
+            for an ephemeral database; required to be a real path for
+            multiprocess recovery, where workers reopen the file).
+        store_cache_bytes: page-cache budget of the sqlite backend.
     """
 
     num_gatekeepers: int = 2
@@ -48,6 +57,9 @@ class WeaverConfig:
     drain_every: int = 256
     store_nodes: int = 0
     store_replication: int = 2
+    store_backend: str = "memory"
+    store_path: str = ":memory:"
+    store_cache_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.num_gatekeepers < 1:
@@ -70,3 +82,13 @@ class WeaverConfig:
             raise ValueError(
                 "store_replication must be in [1, store_nodes]"
             )
+        if self.store_backend not in ("memory", "sqlite"):
+            raise ValueError(
+                f"unknown store backend {self.store_backend!r}"
+            )
+        if self.store_backend == "sqlite" and self.store_nodes:
+            raise ValueError(
+                "store_backend='sqlite' is incompatible with store_nodes"
+            )
+        if self.store_cache_bytes < 0:
+            raise ValueError("store_cache_bytes must be >= 0")

@@ -516,10 +516,17 @@ class Weaver:
             for shard in self.shards
             if shard.ordering.cache is not None
         )
+        # Store compaction uses the store's own commit counter, not the
+        # vector watermark: every version below the oldest open store
+        # snapshot is superseded for all future readers.
+        store_reclaimed = self.store.collect_below(
+            self.store.safe_compact_version()
+        )
         return {
             "graph": graph_reclaimed,
             "oracle": oracle_reclaimed,
             "ordering_cache": cache_evicted,
+            "store": store_reclaimed,
         }
 
     # -- failure handling (section 4.3) -----------------------------------

@@ -49,6 +49,7 @@ def register_stats_collectors(
     network=None,
     programs: Optional[Callable[[], object]] = None,
     transport=None,
+    store: Optional[Callable[[], object]] = None,
     extra: Optional[Callable[[], Dict[str, Number]]] = None,
 ) -> None:
     """Wire one deployment's stats objects into ``registry``.
@@ -60,7 +61,10 @@ def register_stats_collectors(
     ``ProgramStats``, exported under ``program.*``.  ``transport`` is a
     wire-layer ``TransportStats``, exported under ``transport.*`` (the
     per-channel queue-depth gauges are registered by the transport
-    itself, since channels come and go with workers).
+    itself, since channels come and go with workers).  ``store`` is a
+    zero-arg callable returning the backing store's ``StoreStats``,
+    exported under ``store.*`` — callable so collectors follow a store
+    swapped during recovery.
     """
 
     if oracle is not None:
@@ -158,6 +162,16 @@ def register_stats_collectors(
             }
 
         registry.register_collector(collect_transport)
+
+    if store is not None:
+
+        def collect_store() -> Dict[str, Number]:
+            return {
+                f"store.{key}": value
+                for key, value in scalar_fields(store()).items()
+            }
+
+        registry.register_collector(collect_store)
 
     if extra is not None:
         registry.register_collector(extra)

@@ -384,6 +384,9 @@ class SimulatedWeaver:
         # Graph GC goes through refinable comparison and needs a real
         # stamped watermark; callers run it explicitly when they care.
         self.oracle.collect_below(watermark)
+        # Store compaction rides the same timer, on the store's own
+        # commit counter (bounded by the oldest open store snapshot).
+        self.store.collect_below(self.store.safe_compact_version())
         self.simulator.schedule(self.gc_period, self._gc_tick)
 
     # -- channels -------------------------------------------------------

@@ -5,15 +5,24 @@ plus the vertex-to-shard mapping Weaver keeps in it.
 """
 
 from .versioned import VersionedCell
-from .kvstore import StoreTransaction, TransactionalStore
+from .kvstore import (
+    META_COMMIT_VERSION,
+    StoreStats,
+    StoreTransaction,
+    TransactionalStore,
+)
 from .distributed import DistributedStore, StoreNode
+from .durable import DurableStore
 from .mapping import ShardMapping
 
 __all__ = [
     "VersionedCell",
+    "META_COMMIT_VERSION",
+    "StoreStats",
     "StoreTransaction",
     "TransactionalStore",
     "DistributedStore",
+    "DurableStore",
     "StoreNode",
     "ShardMapping",
 ]

@@ -23,7 +23,7 @@ import hashlib
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import StoreError
-from .kvstore import TransactionalStore
+from .kvstore import META_COMMIT_VERSION, TransactionalStore
 from .versioned import VersionedCell
 
 
@@ -180,7 +180,7 @@ class DistributedStore(TransactionalStore):
                 yield key
 
     def snapshot(self) -> Dict[str, Any]:
-        state: Dict[str, Any] = {}
+        state: Dict[str, Any] = {META_COMMIT_VERSION: self._commit_version}
         for key in self._all_keys():
             exists, value, _ = self._read_cell(key, None)
             if exists:
@@ -190,6 +190,9 @@ class DistributedStore(TransactionalStore):
     def restore(self, state: Dict[str, Any]) -> None:
         if self._all_keys():
             raise StoreError("restore requires an empty store")
+        state = dict(state)
+        resumed = state.pop(META_COMMIT_VERSION, self._commit_version)
+        self._commit_version = max(self._commit_version, int(resumed))
         self._commit_version += 1
         for key, value in state.items():
             for node in self._live_replicas(key):
@@ -200,8 +203,18 @@ class DistributedStore(TransactionalStore):
     def collect_below(self, version: int) -> int:
         reclaimed = 0
         for node in self.nodes:
-            for cell in node.cells.values():
-                reclaimed += cell.collect_below(version)
+            empty = []
+            for key, cell in node.cells.items():
+                freed = cell.collect_below(version)
+                reclaimed += freed
+                if len(cell) == 0:
+                    empty.append(key)
+                    if freed:
+                        self.stats.tombstones_purged += 1
+            for key in empty:
+                del node.cells[key]
+        self.stats.compactions += 1
+        self.stats.records_collected += reclaimed
         return reclaimed
 
     # -- failure handling -------------------------------------------------

@@ -17,10 +17,47 @@ commit counter and knows nothing about vector timestamps.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Set, Tuple
+import random
+from typing import Any, Callable, Dict, Iterator, Optional, Set, Tuple
 
 from ..errors import StoreError, TransactionAborted, TransactionError
 from .versioned import VersionedCell
+
+#: Reserved snapshot key carrying the commit counter.  Snapshots must
+#: round-trip the counter: a recovered store that restarts its counter
+#: near 1 reuses pre-crash commit versions, which corrupts everything
+#: keyed on them (the checkers' order-keyed digest joins included).
+META_COMMIT_VERSION = "__meta__:commit_version"
+
+#: Base delay for the first ``transact`` retry backoff, in seconds.
+DEFAULT_BACKOFF_BASE = 1e-4
+#: Backoff ceiling, so a long retry chain stays bounded.
+DEFAULT_BACKOFF_CAP = 0.05
+
+
+class StoreStats:
+    """Counters of the backing store, exported under ``store.*``.
+
+    One class serves every backend: the in-memory store leaves the
+    page-cache fields at zero, so the metric-name surface is identical
+    no matter which backend a deployment selects.
+    """
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.aborts = 0
+        #: ``transact`` attempts beyond each call's first try.
+        self.retries = 0
+        #: ``collect_below`` invocations and what they reclaimed.
+        self.compactions = 0
+        self.records_collected = 0
+        #: Cells whose only surviving record was a lone tombstone.
+        self.tombstones_purged = 0
+        #: Durable-backend page cache (zero on the in-memory backend).
+        self.page_cache_hits = 0
+        self.page_cache_misses = 0
+        self.page_cache_evictions = 0
+        self.page_cache_bytes = 0
 
 
 class StoreTransaction:
@@ -105,6 +142,7 @@ class StoreTransaction:
         """
         self._check_open()
         self._done = True
+        self._store._release_snapshot(self._snapshot)
         return self._store._commit(
             self._snapshot, self._reads, self._writes, self._deletes
         )
@@ -112,16 +150,44 @@ class StoreTransaction:
     def abort(self) -> None:
         self._check_open()
         self._done = True
+        self._store._release_snapshot(self._snapshot)
 
 
 class TransactionalStore:
     """The shared, durable key-value store."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        sleep: Optional[Callable[[float], None]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._cells: Dict[str, VersionedCell] = {}
         self._commit_version = 0
-        self.commits = 0
-        self.aborts = 0
+        self.stats = StoreStats()
+        #: snapshot version -> number of open transactions pinned to it;
+        #: compaction must not pass the oldest pinned snapshot.
+        self._open_snapshots: Dict[int, int] = {}
+        self._sleep: Callable[[float], None] = sleep or (lambda _s: None)
+        self._rng: random.Random = rng or random.Random(0)
+
+    # ``commits``/``aborts`` pre-date StoreStats; keep them as aliases so
+    # existing callers (and subclasses doing ``self.aborts += 1``) work.
+    @property
+    def commits(self) -> int:
+        return self.stats.commits
+
+    @commits.setter
+    def commits(self, value: int) -> None:
+        self.stats.commits = value
+
+    @property
+    def aborts(self) -> int:
+        return self.stats.aborts
+
+    @aborts.setter
+    def aborts(self, value: int) -> None:
+        self.stats.aborts = value
 
     @property
     def version(self) -> int:
@@ -131,16 +197,53 @@ class TransactionalStore:
     # -- transactional interface -------------------------------------
 
     def begin(self) -> StoreTransaction:
-        return StoreTransaction(self, self._commit_version)
+        snapshot = self._commit_version
+        self._open_snapshots[snapshot] = (
+            self._open_snapshots.get(snapshot, 0) + 1
+        )
+        return StoreTransaction(self, snapshot)
 
-    def transact(self, fn, retries: int = 10):
+    def _release_snapshot(self, snapshot: int) -> None:
+        count = self._open_snapshots.get(snapshot, 0)
+        if count <= 1:
+            self._open_snapshots.pop(snapshot, None)
+        else:
+            self._open_snapshots[snapshot] = count - 1
+
+    def safe_compact_version(self) -> int:
+        """Highest version compaction may use without hurting open readers.
+
+        Open transactions read at their pinned snapshot; compacting past
+        the oldest pinned snapshot could drop the record answering one of
+        their reads.  With no open transactions the whole history up to
+        the current commit version is fair game.
+        """
+        if self._open_snapshots:
+            return min(self._open_snapshots)
+        return self._commit_version
+
+    def transact(
+        self,
+        fn,
+        retries: int = 10,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    ):
         """Run ``fn(tx)`` with automatic retry on conflict.
 
         ``fn`` receives a fresh :class:`StoreTransaction`; its return value
-        is returned after a successful commit.
+        is returned after a successful commit.  Conflicting attempts back
+        off with full jitter (uniform in [0, min(cap, base * 2**n)]) so
+        colliding writers decorrelate instead of re-colliding in lockstep.
+        Any exception — not just :class:`TransactionAborted` — aborts the
+        open transaction before propagating.
         """
         last_error: Optional[TransactionAborted] = None
-        for _ in range(retries):
+        for attempt in range(retries):
+            if attempt:
+                self.stats.retries += 1
+                ceiling = min(backoff_cap, backoff_base * (2 ** (attempt - 1)))
+                self._sleep(self._rng.random() * ceiling)
             tx = self.begin()
             try:
                 result = fn(tx)
@@ -148,6 +251,9 @@ class TransactionalStore:
                 return result
             except TransactionAborted as exc:
                 last_error = exc
+            finally:
+                if tx.is_open:
+                    tx.abort()
         raise last_error if last_error else StoreError("transact failed")
 
     # -- non-transactional conveniences --------------------------------
@@ -217,8 +323,14 @@ class TransactionalStore:
     # -- durability / recovery -------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Materialize the latest committed state (for recovery tests)."""
-        state: Dict[str, Any] = {}
+        """Materialize the latest committed state (for recovery tests).
+
+        The commit counter rides along under :data:`META_COMMIT_VERSION`:
+        a restore that restarted the counter near 1 would reuse pre-crash
+        commit versions, corrupting everything keyed on them (the
+        checkers' order-keyed digest joins included).
+        """
+        state: Dict[str, Any] = {META_COMMIT_VERSION: self._commit_version}
         for key, cell in self._cells.items():
             exists, value, _ = cell.read(None)
             if exists:
@@ -229,6 +341,9 @@ class TransactionalStore:
         """Load a snapshot into an empty store."""
         if self._cells:
             raise StoreError("restore requires an empty store")
+        state = dict(state)
+        resumed = state.pop(META_COMMIT_VERSION, self._commit_version)
+        self._commit_version = max(self._commit_version, int(resumed))
         self._commit_version += 1
         for key, value in state.items():
             self._cells.setdefault(key, VersionedCell()).write(
@@ -236,7 +351,23 @@ class TransactionalStore:
             )
 
     def collect_below(self, version: int) -> int:
-        """Garbage-collect versions superseded before ``version``."""
-        return sum(
-            cell.collect_below(version) for cell in self._cells.values()
-        )
+        """Garbage-collect versions superseded before ``version``.
+
+        Cells left empty — their only surviving record was a tombstone at
+        or below the watermark — are dropped from the key map entirely,
+        so create/delete churn no longer grows memory without bound.
+        """
+        dropped = 0
+        empty = []
+        for key, cell in self._cells.items():
+            reclaimed = cell.collect_below(version)
+            dropped += reclaimed
+            if len(cell) == 0:
+                empty.append(key)
+                if reclaimed:
+                    self.stats.tombstones_purged += 1
+        for key in empty:
+            del self._cells[key]
+        self.stats.compactions += 1
+        self.stats.records_collected += dropped
+        return dropped

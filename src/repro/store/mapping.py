@@ -84,3 +84,15 @@ class ShardMapping:
         for _, shard in self.items():
             counts[shard] = counts.get(shard, 0) + 1
         return counts
+
+
+def placement_from_store(store: TransactionalStore) -> Dict[str, int]:
+    """The live vertex-to-shard placement read straight off a store.
+
+    Used by recovering shard workers, which reopen the durable database
+    themselves and have no :class:`ShardMapping` (nor its round-robin
+    cursor) — they only need to know which vertices are theirs.
+    """
+    return {
+        key[len(_PREFIX):]: store.get(key) for key in store.keys(_PREFIX)
+    }

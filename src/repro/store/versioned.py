@@ -72,13 +72,28 @@ class VersionedCell:
     def collect_below(self, version: int) -> int:
         """Drop records superseded before ``version``; keep the newest at
         or below it so reads at >= ``version`` are unaffected.  Returns the
-        number of records dropped."""
+        number of records dropped.
+
+        A lone tombstone at the watermark is dropped too: once every
+        record it superseded is gone and nothing was written after it,
+        reads at >= ``version`` answer "missing" with or without it, so
+        keeping it only leaks memory on create/delete churn (the caller
+        drops the then-empty cell entirely).
+        """
         keep_from = bisect.bisect_right(self._versions, version) - 1
-        if keep_from <= 0:
+        if keep_from < 0:
             return 0
         dropped = keep_from
         del self._versions[:keep_from]
         del self._values[:keep_from]
+        if (
+            len(self._versions) == 1
+            and self._values[0] is _TOMBSTONE
+            and self._versions[0] <= version
+        ):
+            del self._versions[0]
+            del self._values[0]
+            dropped += 1
         return dropped
 
     def history(self) -> List[Tuple[int, bool, Any]]:

@@ -22,6 +22,10 @@ chains and read positions.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -296,6 +300,7 @@ class SoakReport:
 
     seed: int
     transport: str
+    store: str = "memory"
     chunks: int = 0
     committed: int = 0
     aborted: int = 0
@@ -344,6 +349,8 @@ def run_soak(
     config: Optional[WeaverConfig] = None,
     parity: bool = True,
     offline_check: bool = True,
+    store: str = "memory",
+    store_cache_bytes: Optional[int] = None,
 ) -> SoakReport:
     """A long-running seeded Zipf + fault workload, referee always on.
 
@@ -359,21 +366,50 @@ def run_soak(
     Stop condition: ``chunks`` (deterministic, used by tests) or
     ``wall_seconds`` (the CLI's ``repro soak --duration``); with
     neither, 8 chunks.
+
+    ``store="sqlite"`` runs the whole soak on the durable SQLite/WAL
+    backend in a temporary database (removed afterwards): commits go
+    through real OCC-over-SQL, and process-transport crash recovery
+    reopens the database in the replacement worker instead of shipping
+    a dict snapshot.  ``store_cache_bytes`` bounds its page cache, so a
+    small budget soaks the larger-than-RAM paging paths too.
     """
     if transport not in ("sim", "process"):
         raise ValueError(f"unknown transport {transport!r}")
+    if store not in ("memory", "sqlite"):
+        raise ValueError(f"unknown store {store!r}")
     if chunks is None and wall_seconds is None:
         chunks = 8
-    if transport == "sim":
-        return _soak_sim(
-            seed, chunks, wall_seconds, chunk_horizon, num_vertices,
-            skew, tx_period, read_period, crash_every, config, parity,
-            offline_check,
+    tmpdir: Optional[str] = None
+    if store == "sqlite":
+        tmpdir = tempfile.mkdtemp(prefix="weaver-soak-")
+        base = config or WeaverConfig(num_gatekeepers=2, num_shards=2)
+        config = dataclasses.replace(
+            base,
+            store_backend="sqlite",
+            store_path=os.path.join(tmpdir, "soak.db"),
+            store_cache_bytes=(
+                store_cache_bytes if store_cache_bytes is not None
+                else base.store_cache_bytes
+            ),
         )
-    return _soak_process(
-        seed, chunks, wall_seconds, num_vertices, skew, crash_every,
-        config, parity, offline_check,
-    )
+    try:
+        if transport == "sim":
+            report = _soak_sim(
+                seed, chunks, wall_seconds, chunk_horizon, num_vertices,
+                skew, tx_period, read_period, crash_every, config, parity,
+                offline_check,
+            )
+        else:
+            report = _soak_process(
+                seed, chunks, wall_seconds, num_vertices, skew,
+                crash_every, config, parity, offline_check,
+            )
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    report.store = store
+    return report
 
 
 def _soak_sim(

@@ -180,6 +180,16 @@ GOLDEN_DIRECT_METRICS = frozenset({
     "shard.programs_started",
     "shard.transactions_applied",
     "shard.vertices_read",
+    "store.aborts",
+    "store.commits",
+    "store.compactions",
+    "store.page_cache_bytes",
+    "store.page_cache_evictions",
+    "store.page_cache_hits",
+    "store.page_cache_misses",
+    "store.records_collected",
+    "store.retries",
+    "store.tombstones_purged",
     "trace.spans",
     "trace.traces",
 })

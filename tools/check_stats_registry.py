@@ -37,6 +37,7 @@ ABSORBED = {
     "NetworkStats": "network.*",
     "ProgramStats": "program.*",
     "TransportStats": "transport.*",
+    "StoreStats": "store.*",
     # Exported by OnlineChecker.register_metrics, not the collect-layer
     # helper: the checker rides whichever deployment it is attached to.
     "CheckerStats": "checker.*",
