@@ -285,6 +285,58 @@ def _cmd_soak(args) -> int:
     return 0
 
 
+def _cmd_geo(args) -> int:
+    """Geo sweep: deadline fast path vs oracle-only baseline per tau."""
+    import json
+    import pathlib
+
+    from .sim.clock import MSEC, USEC
+    from .workloads.geo import geo_sweep
+
+    taus = [t * USEC for t in args.taus] if args.taus else None
+    result = geo_sweep(
+        seed=args.seed,
+        taus=taus,
+        num_regions=args.regions,
+        duration=args.duration * MSEC,
+    )
+    rows = []
+    for point in result["points"]:
+        fast, base = point["fastpath"], point["baseline"]
+        rows.append((
+            f"{point['tau'] * 1e6:g}",
+            base["oracle_calls"],
+            fast["oracle_calls"],
+            f"{point['oracle_reduction']:.1f}x",
+            fast["deadline_fastpath"],
+            round(base["tx_p99"] * 1000, 3),
+            round(fast["tx_p99"] * 1000, 3),
+        ))
+    print(format_table(
+        f"Geo sweep: {args.regions} regions, seed {result['seed']} "
+        "(oracle calls, baseline vs deadline fast path)",
+        ["tau (us)", "oracle base", "oracle fast", "reduction",
+         "fastpath wins", "p99 base (ms)", "p99 fast (ms)"],
+        rows,
+    ))
+    violations = sum(
+        point[mode]["violations"]
+        for point in result["points"]
+        for mode in ("fastpath", "baseline")
+    )
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {out}")
+    if violations or not result["all_consistent"]:
+        print(f"  VIOLATION: {violations} referee violations; "
+              f"all_consistent={result['all_consistent']}")
+        return 1
+    print("strict serializability: OK on every point, both modes "
+          "(referee + digest parity)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """Deterministically re-create a chaos run and print one trace.
 
@@ -557,6 +609,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "sweep — it is quadratic in history size, so "
                            "long soaks should rely on the online verdict")
     soak.set_defaults(func=_cmd_soak)
+
+    geo = sub.add_parser(
+        "geo",
+        help="geo-distributed sweep: deadline fast path vs oracle-only",
+    )
+    geo.add_argument("--seed", type=int, default=7)
+    geo.add_argument("--regions", type=int, default=3,
+                     help="regions = gatekeepers = shards (2 or 3)")
+    geo.add_argument("--duration", type=float, default=40.0,
+                     help="simulated horizon per run, milliseconds")
+    geo.add_argument("--taus", type=float, nargs="*", default=None,
+                     metavar="USEC",
+                     help="tau values in microseconds "
+                          "(default: 50 200 800)")
+    geo.add_argument("--output", default=None,
+                     help="write the JSON-ready sweep here "
+                          "(e.g. BENCH_geo.json)")
+    geo.set_defaults(func=_cmd_geo)
 
     bench = sub.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument(

@@ -46,6 +46,13 @@ class ClusterParts:
     metrics: MetricsRegistry
     tracer: Tracer
     extras: dict = field(default_factory=dict)
+    # Geo deployments (config.num_regions > 1): one RegionStats and one
+    # RegionOracleClient per region, plus each server's region index
+    # keyed by server name ("gk0", "shard1", ...).  Empty lists / dict
+    # for the classic single-region shape.
+    region_stats: List[Any] = field(default_factory=list)
+    region_clients: List[Any] = field(default_factory=list)
+    region_of: dict = field(default_factory=dict)
 
 
 def build_cluster(
@@ -86,6 +93,30 @@ def build_cluster(
     mapping = ShardMapping(store, cfg.num_shards)
     if oracle is None:
         oracle = make_oracle(cfg.oracle_chain_length)
+    # Geo shape: servers spread round-robin across regions, and each
+    # region's shards talk to the oracle through a region-local client
+    # (pure queries served by a pinned replica, escalations to the head).
+    region_stats: List[Any] = []
+    region_clients: List[Any] = []
+    region_of: dict = {}
+    if cfg.num_regions > 1:
+        from ..core.oracle import RegionOracleClient, RegionStats
+
+        region_stats = [RegionStats() for _ in range(cfg.num_regions)]
+        region_clients = [
+            RegionOracleClient(oracle, r, region_stats[r])
+            for r in range(cfg.num_regions)
+        ]
+        for i in range(cfg.num_gatekeepers):
+            region_of[f"gk{i}"] = i % cfg.num_regions
+        for i in range(cfg.num_shards):
+            region_of[f"shard{i}"] = i % cfg.num_regions
+
+    def shard_oracle(index: int) -> Any:
+        if region_clients:
+            return region_clients[index % cfg.num_regions]
+        return oracle
+
     gatekeepers = [
         Gatekeeper(i, cfg.num_gatekeepers, store)
         for i in range(cfg.num_gatekeepers)
@@ -93,7 +124,8 @@ def build_cluster(
     shards: List[ShardServer] = (
         [
             ShardServer(
-                i, cfg.num_gatekeepers, oracle, cfg.use_ordering_cache
+                i, cfg.num_gatekeepers, shard_oracle(i),
+                cfg.use_ordering_cache,
             )
             for i in range(cfg.num_shards)
         ]
@@ -126,6 +158,9 @@ def build_cluster(
         executor=executor,
         metrics=metrics,
         tracer=tracer,
+        region_stats=region_stats,
+        region_clients=region_clients,
+        region_of=region_of,
     )
     register_stats_collectors(
         metrics,
@@ -136,6 +171,7 @@ def build_cluster(
         programs=lambda: parts.executor.stats,
         transport=transport_stats,
         store=lambda: parts.store.stats,
+        regions=(lambda: parts.region_stats) if region_stats else None,
         extra=extra,
     )
     return parts

@@ -21,7 +21,7 @@ semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.gatekeeper import Gatekeeper
 from ..core.vclock import VectorTimestamp
@@ -49,6 +49,10 @@ class ClusterManager:
         self._gatekeepers: List[Gatekeeper] = []
         self._shards: List[ShardServer] = []
         self.failovers = 0
+        # Records patched into surviving shards at recovery barriers:
+        # committed state whose forwarding message was still in flight
+        # (or partitioned away) when the epoch advanced.
+        self.reconciled_records = 0
 
     @property
     def epoch(self) -> int:
@@ -96,11 +100,17 @@ class ClusterManager:
             shard.advance_epoch(self._epoch)
         return self._epoch
 
-    def recover_gatekeeper(self, index: int) -> Gatekeeper:
+    def recover_gatekeeper(
+        self,
+        index: int,
+        recovery_ts_factory: Optional[Callable[[], VectorTimestamp]] = None,
+    ) -> Gatekeeper:
         """Replace a failed gatekeeper with a fresh one.
 
         The replacement's vector clock restarts at zero; the epoch bump
         keeps its timestamps ordered after every pre-failure timestamp.
+        The dead gatekeeper's committed-but-undelivered forwards are
+        reconciled into every shard from the backing store.
         """
         if not 0 <= index < len(self._gatekeepers):
             raise ClusterError(f"no gatekeeper {index}")
@@ -114,6 +124,13 @@ class ClusterManager:
         )
         self.failovers += 1
         self.advance_epoch()
+        if self._shards:
+            if recovery_ts_factory is None:
+                recovery_ts = self._gatekeepers[0].issue_timestamp()
+            else:
+                recovery_ts = recovery_ts_factory()
+            for i, shard in enumerate(self._shards):
+                self._reconcile_shard(shard, i, recovery_ts)
         del old
         return replacement
 
@@ -143,10 +160,103 @@ class ClusterManager:
         else:
             recovery_ts = recovery_ts_factory()
         self._load_partition(replacement, index, recovery_ts)
+        # The barrier also lets every surviving shard drop old-epoch
+        # stragglers (a partitioned channel can deliver them arbitrarily
+        # late, after later-ordered work was already applied at the
+        # flush); whatever committed state those messages carried is
+        # re-derived from the store here.
+        for i, shard in enumerate(self._shards):
+            if i != index:
+                self._reconcile_shard(shard, i, recovery_ts)
         self._last_heartbeat[replacement.name] = max(
             self._last_heartbeat.values(), default=0.0
         )
         return replacement
+
+    def _reconcile_shard(
+        self, shard: ShardServer, index: int, ts: VectorTimestamp
+    ) -> int:
+        """Bring a surviving shard's partition up to date with the store.
+
+        The epoch barrier assumes no further old-epoch stamp reaches a
+        shard, so in-flight forwards are dropped at delivery.  Every
+        transaction they carried was durably committed before it was
+        forwarded, so its effects are recovered here from the backing
+        store — the same source a replacement shard reloads from — as a
+        diff against what the shard already applied, stamped at the
+        recovery timestamp.  Returns the number of records patched.
+        """
+        placement = {v: s for v, s in self._mapping.items()}
+        vertices, edges = graph_state_from_store(self._store.snapshot())
+        edges_by_src: Dict[str, Dict[str, Any]] = {}
+        for (src, handle), record in edges.items():
+            edges_by_src.setdefault(src, {})[handle] = record
+        view = shard.graph.at(ts)
+        missing = object()
+        patched = 0
+        # Committed state the shard never saw (or saw an older value of).
+        for handle, props in vertices.items():
+            if placement.get(handle) != index:
+                continue
+            current = view.try_vertex(handle)
+            if current is None:
+                shard.graph.create_vertex(handle, ts)
+                for key, value in props.items():
+                    shard.graph.set_vertex_property(handle, key, value, ts)
+                for ehandle, record in edges_by_src.get(handle, {}).items():
+                    shard.graph.create_edge(ehandle, handle, record["dst"], ts)
+                    for key, value in record.get("props", {}).items():
+                        shard.graph.set_edge_property(
+                            handle, ehandle, key, value, ts
+                        )
+                patched += 1
+                continue
+            for key, value in props.items():
+                if current.get_property(key, missing) != value:
+                    shard.graph.set_vertex_property(handle, key, value, ts)
+                    patched += 1
+            for key in current.properties():
+                if key not in props:
+                    shard.graph.delete_vertex_property(handle, key, ts)
+                    patched += 1
+            for ehandle, record in edges_by_src.get(handle, {}).items():
+                edge = current.get_edge(ehandle)
+                if edge is None:
+                    shard.graph.create_edge(ehandle, handle, record["dst"], ts)
+                    for key, value in record.get("props", {}).items():
+                        shard.graph.set_edge_property(
+                            handle, ehandle, key, value, ts
+                        )
+                    patched += 1
+                    continue
+                for key, value in record.get("props", {}).items():
+                    if edge.get_property(key, missing) != value:
+                        shard.graph.set_edge_property(
+                            handle, ehandle, key, value, ts
+                        )
+                        patched += 1
+                for key in edge.properties():
+                    if key not in record.get("props", {}):
+                        shard.graph.delete_edge_property(
+                            handle, ehandle, key, ts
+                        )
+                        patched += 1
+        # Committed deletions the shard never saw.
+        for vertex_view in list(view.vertices()):
+            handle = vertex_view.handle
+            if placement.get(handle) != index:
+                continue
+            if handle not in vertices:
+                shard.graph.delete_vertex(handle, ts)
+                patched += 1
+                continue
+            live_edges = edges_by_src.get(handle, {})
+            for edge_view in vertex_view.neighbors:
+                if edge_view.handle not in live_edges:
+                    shard.graph.delete_edge(handle, edge_view.handle, ts)
+                    patched += 1
+        self.reconciled_records += patched
+        return patched
 
     def _load_partition(
         self, shard: ShardServer, index: int, ts: VectorTimestamp

@@ -29,6 +29,66 @@ from .vclock import Ordering, VectorClock, VectorTimestamp
 _LAST_UPDATE_PREFIX = "__lastup__:"
 
 
+class DeadlineStamper:
+    """Issues Tiga-style future deadlines from a synchronized clock.
+
+    In a geo deployment every stamp a region issues carries a deadline
+    ``now + horizon`` where ``horizon`` is the worst-case one-way latency
+    from this region to any other: by the time the deadline arrives, the
+    stamped message has reached every region.  Two invariants make the
+    deadline order a safe refinement target:
+
+    * **Lamport monotonicity** — deadlines strictly increase along every
+      happens-before chain.  Locally each stamper's deadlines strictly
+      increase; remotely, announce messages piggyback the announcer's
+      latest deadline, which the receiver folds in via :meth:`observe`
+      before stamping anything causally after it.
+    * **Commit-chain consistency** — a commit's deadline exceeds the
+      deadline of every touched vertex's previous update (the ``floor``
+      argument, read under OCC from the last-update stamps), so deadline
+      order never contradicts same-vertex store commit order.
+
+    One stamper serves one region; it is owned by the deployment and
+    survives gatekeeper crash/recovery, so a recovered gatekeeper cannot
+    reissue stale deadlines.
+    """
+
+    # Minimal separation between consecutive deadlines from one stamper
+    # (and above any floor).  Far below the clock-skew bound, so forced
+    # separations never fabricate a fast-path decision on their own.
+    EPSILON = 1e-9
+
+    def __init__(self, clock_fn: Callable[[], float], horizon: float):
+        if horizon < 0:
+            raise ValueError("deadline horizon must be non-negative")
+        self._clock_fn = clock_fn
+        self.horizon = horizon
+        self._last = float("-inf")
+        self.issued = 0
+
+    @property
+    def last(self) -> float:
+        """Latest deadline issued or observed (announce piggyback)."""
+        return self._last
+
+    def observe(self, deadline: Optional[float]) -> None:
+        """Fold in a deadline learned from a peer (Lamport receive)."""
+        if deadline is not None and deadline > self._last:
+            self._last = deadline
+
+    def next_deadline(self, floor: Optional[float] = None) -> float:
+        """A fresh deadline above the clock horizon, the last deadline
+        seen, and ``floor`` (the touched vertices' previous deadlines)."""
+        deadline = self._clock_fn() + self.horizon
+        if deadline <= self._last:
+            deadline = self._last + self.EPSILON
+        if floor is not None and deadline <= floor:
+            deadline = floor + self.EPSILON
+        self._last = deadline
+        self.issued += 1
+        return deadline
+
+
 class GatekeeperStats:
     """Counters for the coordination-overhead experiment (Fig 14)."""
 
@@ -61,6 +121,9 @@ class Gatekeeper:
         # Optional repro.obs.Tracer: traced commits emit
         # gatekeeper.stamp / store.commit / gatekeeper.abort spans.
         self.tracer = None
+        # Optional DeadlineStamper (geo deployments): when attached,
+        # every stamp this gatekeeper issues carries a future deadline.
+        self.deadline_stamper: Optional[DeadlineStamper] = None
 
     def _emit(self, trace_id, kind: str, **attrs) -> None:
         if self.tracer is not None and trace_id is not None:
@@ -72,9 +135,21 @@ class Gatekeeper:
 
     # -- timestamping ------------------------------------------------------
 
-    def issue_timestamp(self) -> VectorTimestamp:
-        """Stamp one transaction or node program."""
+    def issue_timestamp(
+        self, deadline_floor: Optional[float] = None
+    ) -> VectorTimestamp:
+        """Stamp one transaction or node program.
+
+        ``deadline_floor`` (geo only) is the highest deadline among the
+        previous updates of the vertices this stamp will commit to; the
+        fresh deadline must clear it so deadline order agrees with
+        same-vertex commit order.
+        """
         self.stats.timestamps_issued += 1
+        if self.deadline_stamper is not None:
+            return self.clock.tick(
+                self.deadline_stamper.next_deadline(deadline_floor)
+            )
         return self.clock.tick()
 
     def current_watermark(self) -> VectorTimestamp:
@@ -99,6 +174,11 @@ class Gatekeeper:
         """A NOP transaction keeping shard queues non-empty under light
         load, bounding node-program delay."""
         self.stats.nops_sent += 1
+        if self.deadline_stamper is not None:
+            # NOPs carry deadlines too: every geo stamp lives in the one
+            # total deadline order, or mixed oracle chains through NOPs
+            # could contradict fast-path decisions.
+            return self.clock.tick(self.deadline_stamper.next_deadline())
         return self.clock.tick()
 
     # -- commit path (section 4.2) --------------------------------------
@@ -123,13 +203,22 @@ class Gatekeeper:
         """
         if self.store is None:
             raise RuntimeError("gatekeeper has no backing store attached")
-        ts = timestamp if timestamp is not None else self.issue_timestamp()
-        self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
         touched = list(touched_vertices)
         tx = self.store.begin()
+        ts = timestamp
         try:
-            for vertex in touched:
-                last = tx.get(_LAST_UPDATE_PREFIX + vertex)
+            # Read the last-update stamps before stamping: in geo mode
+            # the fresh stamp's deadline must clear the touched vertices'
+            # previous deadlines, and OCC on these reads guarantees a
+            # concurrent committer to the same vertex conflicts here.
+            lasts = [
+                (vertex, tx.get(_LAST_UPDATE_PREFIX + vertex))
+                for vertex in touched
+            ]
+            if ts is None:
+                ts = self.issue_timestamp(_deadline_floor(lasts))
+            self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
+            for vertex, last in lasts:
                 if last is not None and ts.compare(last) is Ordering.BEFORE:
                     raise TransactionAborted(
                         f"timestamp inversion on {vertex!r}"
@@ -146,7 +235,10 @@ class Gatekeeper:
             self.stats.aborts += 1
             if tx.is_open:
                 tx.abort()
-            self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
+            if ts is not None:
+                self._emit(
+                    trace_id, "gatekeeper.abort", ts=ts, gk=self.index
+                )
             raise
         self.stats.commits += 1
         # The store's commit version is the global serialization anchor
@@ -173,12 +265,20 @@ class Gatekeeper:
         same transaction* (so the check is atomic with the commit), writes
         the new last-update stamps, and commits.
         """
-        ts = self.issue_timestamp()
-        self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
         touched = list(touched_vertices)
+        ts = None
         try:
-            for vertex in touched:
-                last = store_tx.get(_LAST_UPDATE_PREFIX + vertex)
+            # Same read-before-stamp order as :meth:`commit`: the stamp's
+            # deadline (geo mode) must clear the previous updates of every
+            # touched vertex, and these OCC reads make concurrent
+            # committers to a shared vertex conflict at commit time.
+            lasts = [
+                (vertex, store_tx.get(_LAST_UPDATE_PREFIX + vertex))
+                for vertex in touched
+            ]
+            ts = self.issue_timestamp(_deadline_floor(lasts))
+            self._emit(trace_id, "gatekeeper.stamp", ts=ts, gk=self.index)
+            for vertex, last in lasts:
                 if last is not None and ts.compare(last) is Ordering.BEFORE:
                     raise TransactionAborted(
                         f"timestamp inversion on {vertex!r}"
@@ -190,7 +290,10 @@ class Gatekeeper:
             self.stats.aborts += 1
             if store_tx.is_open:
                 store_tx.abort()
-            self._emit(trace_id, "gatekeeper.abort", ts=ts, gk=self.index)
+            if ts is not None:
+                self._emit(
+                    trace_id, "gatekeeper.abort", ts=ts, gk=self.index
+                )
             raise
         self.stats.commits += 1
         self._emit(
@@ -204,6 +307,18 @@ class Gatekeeper:
     def advance_epoch(self, new_epoch: int) -> None:
         """Enter a new configuration epoch (clock restarts at zero)."""
         self.clock.advance_epoch(new_epoch)
+
+
+def _deadline_floor(lasts) -> Optional[float]:
+    """Highest deadline among a commit's touched last-update stamps."""
+    floor = None
+    for _, last in lasts:
+        if last is None:
+            continue
+        deadline = getattr(last, "deadline", None)
+        if deadline is not None and (floor is None or deadline > floor):
+            floor = deadline
+    return floor
 
 
 def sync_announce_all(gatekeepers) -> None:

@@ -543,3 +543,90 @@ class ReplicatedOracle:
         if index == 0 and tracer is not None:
             # Decision spans follow the head role, not the dead process.
             self.head.tracer = tracer
+
+    def replica(self, index: int) -> TimelineOracle:
+        """A stable read replica for region ``index`` (wraps around)."""
+        return self._replicas[index % len(self._replicas)]
+
+
+class RegionStats:
+    """Per-region coordination counters (geo deployments).
+
+    ``local_queries`` are ordering requests a region answered from its
+    pinned oracle replica — real coordination traffic that is *invisible*
+    to the chain head's accounting (``established_order`` never counts).
+    ``escalations`` reached the head.  ``oracle_messages`` (exported per
+    region as ``region.<r>.oracle_messages``) is their sum, and the
+    quantity a per-region tau controller must be fed; feeding it head
+    stats alone undercounts by exactly ``local_queries``.
+    """
+
+    def __init__(self) -> None:
+        self.local_queries = 0
+        self.escalations = 0
+
+    @property
+    def oracle_messages(self) -> int:
+        return self.local_queries + self.escalations
+
+    def reset(self) -> None:
+        self.local_queries = 0
+        self.escalations = 0
+
+
+class RegionOracleClient:
+    """A region's window onto the timeline oracle.
+
+    Geo deployments give each region's shards one of these instead of the
+    raw oracle: pure ordering queries are served by a region-local chain
+    replica (cheap — no cross-region hop), and only requests that must
+    *establish* a new order escalate to the chain head.  The client keeps
+    the region's own request accounting in :class:`RegionStats`, because
+    locally-served reads never touch ``head.stats``.
+    """
+
+    def __init__(self, oracle, region: int, stats: Optional[RegionStats] = None):
+        self._oracle = oracle
+        self.region = region
+        if hasattr(oracle, "replica"):
+            self._replica = oracle.replica(region)
+        else:
+            self._replica = oracle
+        self.stats = stats if stats is not None else RegionStats()
+
+    @property
+    def oracle(self):
+        """The underlying (global) oracle."""
+        return self._oracle
+
+    def query_order(
+        self, a: VectorTimestamp, b: VectorTimestamp
+    ) -> Optional[Ordering]:
+        established = self._replica.established_order(a, b)
+        if established is not None:
+            self.stats.local_queries += 1
+            return established
+        self.stats.escalations += 1
+        return self._oracle.query_order(a, b)
+
+    def order(
+        self,
+        a: VectorTimestamp,
+        b: VectorTimestamp,
+        prefer: Ordering = Ordering.BEFORE,
+    ) -> Ordering:
+        established = self._replica.established_order(a, b)
+        if established is not None:
+            self.stats.local_queries += 1
+            return established
+        self.stats.escalations += 1
+        return self._oracle.order(a, b, prefer)
+
+    def create_event(self, ts: VectorTimestamp) -> None:
+        self._oracle.create_event(ts)
+
+    def assign_order(self, a: VectorTimestamp, b: VectorTimestamp) -> None:
+        self._oracle.assign_order(a, b)
+
+    def collect_below(self, watermark: VectorTimestamp) -> int:
+        return self._oracle.collect_below(watermark)

@@ -107,6 +107,13 @@ class OrderingStats:
         # comparisons the tournament scheduler reused instead of redoing.
         self.snapshot_memo_hits = 0
         self.heap_compares_saved = 0
+        # Geo deadline ordering (Tiga-style): concurrent pairs whose
+        # deadlines are separated by more than the clock-skew bound are
+        # decided without the oracle (deadline_fastpath); deadline pairs
+        # within the bound fall back to the cache/oracle with the
+        # deadline total order as the tiebreak (deadline_fallback).
+        self.deadline_fastpath = 0
+        self.deadline_fallback = 0
 
     @property
     def total(self) -> int:
@@ -122,6 +129,8 @@ class OrderingStats:
         self.reactive = 0
         self.snapshot_memo_hits = 0
         self.heap_compares_saved = 0
+        self.deadline_fastpath = 0
+        self.deadline_fallback = 0
 
 
 class RefinableOrdering:
@@ -136,12 +145,20 @@ class RefinableOrdering:
         self,
         oracle,
         use_cache: bool = True,
+        skew_bound: Optional[float] = None,
     ):
         self._oracle = oracle
         self._cache: Optional[OrderingCache] = (
             OrderingCache() if use_cache else None
         )
         self.stats = OrderingStats()
+        # Clock-skew bound of the geo deadline fast path.  None disables
+        # it; when set, concurrent deadline-carrying pairs separated by
+        # more than the bound order on deadlines alone, and every closer
+        # deadline pair is decided with the deadline total order as the
+        # preference, so oracle answers can never contradict a fast-path
+        # answer (all decisions embed in one total order).
+        self.skew_bound = skew_bound
 
     @property
     def oracle(self):
@@ -150,6 +167,12 @@ class RefinableOrdering:
     @property
     def cache(self) -> Optional[OrderingCache]:
         return self._cache
+
+    @staticmethod
+    def _deadline_key(ts: VectorTimestamp):
+        """Total order on deadline-carrying stamps: deadline first, then
+        the unique stamp identity as a deterministic tiebreak."""
+        return (ts.deadline,) + ts.id
 
     def compare(
         self,
@@ -162,12 +185,31 @@ class RefinableOrdering:
         ``prefer`` is forwarded to the oracle and applies only when the
         pair is concurrent *and* no prior commitment exists: it encodes
         arrival order (for transaction pairs) or the node-programs-after-
-        writes rule of section 4.1.
+        writes rule of section 4.1.  When both stamps carry deadlines and
+        the fast path is enabled, the deadline total order replaces the
+        arrival preference — a requirement, not an optimization, since
+        mixing arrival-preference decisions with deadline decisions could
+        build contradictory oracle chains.
         """
         vc = a.compare(b)
         if vc is not Ordering.CONCURRENT:
             self.stats.proactive += 1
             return vc
+        if (
+            self.skew_bound is not None
+            and a.deadline is not None
+            and b.deadline is not None
+        ):
+            gap = a.deadline - b.deadline
+            if gap > self.skew_bound or -gap > self.skew_bound:
+                self.stats.deadline_fastpath += 1
+                return Ordering.BEFORE if gap < 0 else Ordering.AFTER
+            self.stats.deadline_fallback += 1
+            prefer = (
+                Ordering.BEFORE
+                if self._deadline_key(a) < self._deadline_key(b)
+                else Ordering.AFTER
+            )
         if self._cache is not None:
             cached = self._cache.get(a, b)
             if cached is not None:

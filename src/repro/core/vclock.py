@@ -21,8 +21,8 @@ as the paper's timeline oracle requires.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
 
 
 class Ordering(enum.Enum):
@@ -52,11 +52,16 @@ class VectorTimestamp:
         clocks: one counter per gatekeeper, a snapshot of the issuer's
             vector clock at issue time.
         issuer: index of the gatekeeper that issued this timestamp.
+        deadline: optional synchronized-clock future deadline (geo
+            deployments only, Tiga-style).  Excluded from identity,
+            equality, and hashing: a deadline annotates a timestamp for
+            the ordering fast path, it never distinguishes two stamps.
     """
 
     epoch: int
     clocks: Tuple[int, ...]
     issuer: int
+    deadline: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not 0 <= self.issuer < len(self.clocks):
@@ -188,10 +193,16 @@ class VectorClock:
     def clocks(self) -> Tuple[int, ...]:
         return tuple(self._clocks)
 
-    def tick(self) -> VectorTimestamp:
-        """Increment the local counter and return a fresh timestamp."""
+    def tick(self, deadline: Optional[float] = None) -> VectorTimestamp:
+        """Increment the local counter and return a fresh timestamp.
+
+        ``deadline`` attaches a synchronized-clock future deadline to the
+        stamp (geo deployments); single-region callers omit it.
+        """
         self._clocks[self._index] += 1
-        return VectorTimestamp(self._epoch, tuple(self._clocks), self._index)
+        return VectorTimestamp(
+            self._epoch, tuple(self._clocks), self._index, deadline
+        )
 
     def peek(self) -> VectorTimestamp:
         """Current state as a timestamp, without consuming a counter value.

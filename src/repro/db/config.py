@@ -44,6 +44,12 @@ class WeaverConfig:
             for an ephemeral database; required to be a real path for
             multiprocess recovery, where workers reopen the file).
         store_cache_bytes: page-cache budget of the sqlite backend.
+        num_regions: geo-distributed regions.  1 (the default) is the
+            classic single-cluster deployment; >1 spreads the gatekeeper
+            bank round-robin across regions and (in the simulator)
+            enables region-aware announce phases, per-region tau
+            controllers, and Tiga-style deadline stamping.  Cannot
+            exceed num_gatekeepers (every region needs a gatekeeper).
     """
 
     num_gatekeepers: int = 2
@@ -60,6 +66,7 @@ class WeaverConfig:
     store_backend: str = "memory"
     store_path: str = ":memory:"
     store_cache_bytes: int = 8 * 1024 * 1024
+    num_regions: int = 1
 
     def __post_init__(self) -> None:
         if self.num_gatekeepers < 1:
@@ -92,3 +99,10 @@ class WeaverConfig:
             )
         if self.store_cache_bytes < 0:
             raise ValueError("store_cache_bytes must be >= 0")
+        if self.num_regions < 1:
+            raise ValueError("num_regions must be >= 1")
+        if self.num_regions > self.num_gatekeepers:
+            raise ValueError(
+                "num_regions cannot exceed num_gatekeepers: every region "
+                "needs at least one gatekeeper"
+            )

@@ -50,6 +50,7 @@ def register_stats_collectors(
     programs: Optional[Callable[[], object]] = None,
     transport=None,
     store: Optional[Callable[[], object]] = None,
+    regions: Optional[Callable[[], list]] = None,
     extra: Optional[Callable[[], Dict[str, Number]]] = None,
 ) -> None:
     """Wire one deployment's stats objects into ``registry``.
@@ -64,7 +65,11 @@ def register_stats_collectors(
     itself, since channels come and go with workers).  ``store`` is a
     zero-arg callable returning the backing store's ``StoreStats``,
     exported under ``store.*`` — callable so collectors follow a store
-    swapped during recovery.
+    swapped during recovery.  ``regions`` is a zero-arg callable
+    returning the per-region ``RegionStats`` list of a geo deployment,
+    exported under ``region.<r>.*`` (including the per-region announce
+    count read from the network's region counters); deployments with one
+    region pass None so the single-region metric surface is unchanged.
     """
 
     if oracle is not None:
@@ -172,6 +177,22 @@ def register_stats_collectors(
             }
 
         registry.register_collector(collect_store)
+
+    if regions is not None:
+
+        def collect_regions() -> Dict[str, Number]:
+            out: Dict[str, Number] = {}
+            for r, rstats in enumerate(regions()):
+                for key, value in scalar_fields(rstats).items():
+                    out[f"region.{r}.{key}"] = value
+                out[f"region.{r}.oracle_messages"] = rstats.oracle_messages
+                announce = 0
+                if network is not None:
+                    announce = network.stats.region_count(r, "announce")
+                out[f"region.{r}.announce_messages"] = announce
+            return out
+
+        registry.register_collector(collect_regions)
 
     if extra is not None:
         registry.register_collector(extra)

@@ -26,11 +26,13 @@ shortcut.
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace as dc_replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cluster.builder import build_cluster
 from ..cluster.messages import AnnounceMessage, Heartbeat, QueuedTransaction
 from ..cluster.transport import SimTransport
+from ..core.gatekeeper import DeadlineStamper
 from ..core.vclock import VectorTimestamp
 from ..db.config import WeaverConfig
 from ..db.operations import Operation, touched_vertices
@@ -39,12 +41,16 @@ from ..programs.framework import NodeProgram, ProgramResult
 from ..programs.routing import ShardSnapshotResolver
 from .clock import USEC
 from .faults import FaultInjector, FaultPlan, GATEKEEPER
-from .network import Network
+from .network import Network, RegionTopology
 from .simulator import Server, Simulator
 
 DEFAULT_TAU = 100 * USEC
 DEFAULT_NOP_PERIOD = 10 * USEC  # the paper's default (section 4.2)
 DEFAULT_HEARTBEAT = 0.1
+# Clock-skew bound of the deadline fast path.  The simulator's clock is
+# perfectly synchronized, so any positive bound is sound; 5 µs models a
+# PTP-disciplined fleet and keeps the fast path honest about skew.
+DEFAULT_SKEW_BOUND = 5 * USEC
 
 
 class TauController:
@@ -87,18 +93,25 @@ class TauController:
     def observe(
         self, oracle_messages: int, announce_messages: int, committed: int
     ) -> float:
-        """Feed one window's counters; returns the (possibly new) τ."""
+        """Feed one window's counters; returns the (possibly new) τ.
+
+        Idle windows (``committed == 0``) neither adjust τ nor record an
+        adjustment sample: a quiescent system's all-zero windows used to
+        pad ``adjustments`` and skew the Fig 14 harness's trajectory
+        summaries toward whatever τ the system idled at.
+        """
         low, high = self.bounds
-        if committed > 0:
-            if oracle_messages > max(1, announce_messages):
-                # Reactive ordering rivals the proactive machinery:
-                # announce more often.
-                self.tau = max(low, self.tau / self.factor)
-            elif announce_messages > self.balance_ratio * max(
-                1, oracle_messages
-            ):
-                # Announce chatter dwarfs the oracle's load: back off.
-                self.tau = min(high, self.tau * self.factor)
+        if committed <= 0:
+            return self.tau
+        if oracle_messages > max(1, announce_messages):
+            # Reactive ordering rivals the proactive machinery:
+            # announce more often.
+            self.tau = max(low, self.tau / self.factor)
+        elif announce_messages > self.balance_ratio * max(
+            1, oracle_messages
+        ):
+            # Announce chatter dwarfs the oracle's load: back off.
+            self.tau = min(high, self.tau * self.factor)
         self.adjustments.append((self.tau, oracle_messages))
         return self.tau
 
@@ -119,6 +132,10 @@ class SimulatedWeaver:
         costs=None,
         run_timers_for: float = 0.0,
         fault_plan: Optional[FaultPlan] = None,
+        topology: Optional[RegionTopology] = None,
+        skew_bound: Optional[float] = None,
+        region_tau_controllers: Optional[List[TauController]] = None,
+        rng=None,
     ):
         self.config = config or WeaverConfig()
         self.tau = tau_controller.tau if tau_controller is not None else tau
@@ -129,11 +146,26 @@ class SimulatedWeaver:
         self.adapt_window = adapt_window
         self.simulator = Simulator()
         self.fault_plan = fault_plan
+        num_regions = self.config.num_regions
+        if topology is None and num_regions > 1:
+            # Uniform geo topology: every region edge pays the global
+            # latency, so the deployment shape is geo but the timing is
+            # the single-region one.
+            topology = RegionTopology(
+                [[latency] * num_regions for _ in range(num_regions)]
+            )
+        if topology is not None and topology.num_regions != num_regions:
+            raise ValueError(
+                f"topology has {topology.num_regions} regions but "
+                f"config.num_regions is {num_regions}"
+            )
+        self.topology = topology
         injector = (
             FaultInjector(fault_plan) if fault_plan is not None else None
         )
         self.network = Network(
-            self.simulator, latency=latency, fault_injector=injector
+            self.simulator, latency=latency, fault_injector=injector,
+            topology=topology, rng=rng,
         )
         # The deterministic twin of the process deployment: same parts
         # from the same builder, with the message contract routed over
@@ -157,6 +189,50 @@ class SimulatedWeaver:
         self.shards = parts.shards
         self.manager = parts.manager
         self.executor = parts.executor
+        # Geo deployment (config.num_regions > 1): place every server in
+        # its region, give each region one deadline stamper (it survives
+        # gatekeeper recovery) and optionally one tau controller, and arm
+        # the shard orderings' deadline fast path.
+        self._geo = self.config.num_regions > 1
+        self.skew_bound = (
+            skew_bound
+            if skew_bound is not None
+            else (DEFAULT_SKEW_BOUND if self._geo else None)
+        )
+        self._deadline_stampers: List[DeadlineStamper] = []
+        self._region_controllers = region_tau_controllers or []
+        self._region_tau: List[float] = []
+        self._region_committed: List[int] = []
+        self._region_window_base: List[Tuple[int, int, int]] = []
+        if self._geo:
+            for name, region in parts.region_of.items():
+                self.topology.assign(name, region)
+            self._deadline_stampers = [
+                DeadlineStamper(
+                    lambda: self.simulator.now, self.topology.reach(r)
+                )
+                for r in range(self.config.num_regions)
+            ]
+            for gk in self.gatekeepers:
+                gk.deadline_stamper = self._deadline_stampers[
+                    parts.region_of[gk.name]
+                ]
+            for shard in self.shards:
+                shard.ordering.skew_bound = self.skew_bound
+            if self._region_controllers:
+                if len(self._region_controllers) != self.config.num_regions:
+                    raise ValueError(
+                        "need one tau controller per region"
+                    )
+                self._region_tau = [
+                    c.tau for c in self._region_controllers
+                ]
+            else:
+                self._region_tau = [self.tau] * self.config.num_regions
+            self._region_committed = [0] * self.config.num_regions
+            self._region_window_base = [
+                (0, 0, 0) for _ in range(self.config.num_regions)
+            ]
         # Optional service-time accounting: with a CostParams attached,
         # gatekeepers and shards become serially-busy resources and the
         # deployment yields protocol-level *performance*, not just
@@ -223,8 +299,10 @@ class SimulatedWeaver:
     def _make_gk_handler(self, index: int):
         def handle(src: str, kind: str, payload: Any) -> None:
             if kind == "announce":
-                announce, epoch = payload
-                self._deliver_announce(index, epoch, announce.vector)
+                announce, epoch, deadline = payload
+                self._deliver_announce(
+                    index, epoch, announce.vector, deadline
+                )
             elif kind == "tx-submit":
                 self._gatekeeper_commit(index, *payload)
             elif kind == "prog-submit":
@@ -251,12 +329,29 @@ class SimulatedWeaver:
         self._timers_started = True
         # Stagger per-gatekeeper timers: real servers' clocks are not
         # phase-aligned, and alignment would make every NOP round a set
-        # of mutually concurrent stamps no τ could ever order.
+        # of mutually concurrent stamps no τ could ever order.  Geo
+        # deployments stagger announce phases *within* each region over
+        # that region's own τ (regions announce independently).
         count = len(self.gatekeepers)
+        if self._geo:
+            members: Dict[int, List[int]] = {}
+            for gk in self.gatekeepers:
+                members.setdefault(
+                    self.topology.region_of(gk.name), []
+                ).append(gk.index)
+            announce_phase = {}
+            for region, indices in members.items():
+                for pos, gk_index in enumerate(sorted(indices)):
+                    announce_phase[gk_index] = (
+                        self._region_tau[region]
+                        * (pos + 1) / len(indices)
+                    )
         for gk in self.gatekeepers:
             phase = (gk.index + 1) / count
             self.simulator.schedule(
-                self.tau * phase, self._announce_tick, gk.index
+                announce_phase[gk.index] if self._geo
+                else self.tau * phase,
+                self._announce_tick, gk.index,
             )
             self.simulator.schedule(
                 self.nop_period * phase, self._nop_tick, gk.index
@@ -283,6 +378,10 @@ class SimulatedWeaver:
         if self.tau_controller is not None:
             self._window_base = (0, 0, 0)
             self.simulator.schedule(self.adapt_window, self._adapt_tick)
+        if self._region_controllers:
+            self.simulator.schedule(
+                self.adapt_window, self._region_adapt_tick
+            )
 
     def _adapt_tick(self) -> None:
         """One feedback-control window of the adaptive τ (section 3.5)."""
@@ -298,6 +397,39 @@ class SimulatedWeaver:
         self._window_base = (oracle_now, announce_now, committed_now)
         self.simulator.schedule(self.adapt_window, self._adapt_tick)
 
+    def _region_adapt_tick(self) -> None:
+        """Per-region τ feedback, on per-region counters.
+
+        Each region's controller sees only that region's coordination
+        traffic: oracle requests its shards issued (through the region
+        oracle client, local reads included) and announces its
+        gatekeepers sent, against its gatekeepers' commits.
+        """
+        for region, controller in enumerate(self._region_controllers):
+            oracle_now = self.parts.region_stats[region].oracle_messages
+            announce_now = self.network.stats.region_count(
+                region, "announce"
+            )
+            committed_now = self._region_committed[region]
+            base_o, base_a, base_c = self._region_window_base[region]
+            self._region_tau[region] = controller.observe(
+                oracle_now - base_o,
+                announce_now - base_a,
+                committed_now - base_c,
+            )
+            self._region_window_base[region] = (
+                oracle_now, announce_now, committed_now
+            )
+        self.simulator.schedule(self.adapt_window, self._region_adapt_tick)
+
+    def _tau_for(self, gk_index: int) -> float:
+        if self._geo:
+            region = self.topology.region_of(
+                self.gatekeepers[gk_index].name
+            )
+            return self._region_tau[region]
+        return self.tau
+
     def _announce_tick(self, gk_index: int) -> None:
         gk = self.gatekeepers[gk_index]
         if gk.name in self._crashed:
@@ -305,15 +437,27 @@ class SimulatedWeaver:
         vector = gk.make_announce()
         epoch = gk.clock.epoch
         announce = AnnounceMessage(gk_index, vector)
+        # Geo: piggyback the announcer's latest deadline, the Lamport
+        # carrier that keeps deadlines increasing along happens-before
+        # edges (every vector-clock edge is announce-mediated here).
+        deadline = (
+            gk.deadline_stamper.last
+            if gk.deadline_stamper is not None
+            else None
+        )
         for peer in self.gatekeepers:
             if peer.index == gk_index or peer.name in self._crashed:
                 continue
             self.transport.send(
-                gk.name, peer.name, "announce", (announce, epoch)
+                gk.name, peer.name, "announce", (announce, epoch, deadline)
             )
-        self.simulator.schedule(self.tau, self._announce_tick, gk_index)
+        self.simulator.schedule(
+            self._tau_for(gk_index), self._announce_tick, gk_index
+        )
 
-    def _deliver_announce(self, peer_index: int, epoch: int, vector) -> None:
+    def _deliver_announce(
+        self, peer_index: int, epoch: int, vector, deadline=None
+    ) -> None:
         """Fold an announce at its destination, re-fetched by index.
 
         The receiver may have been replaced while the message was in
@@ -327,6 +471,8 @@ class SimulatedWeaver:
         if peer.clock.epoch != epoch:
             return  # cross-epoch straggler
         peer.receive_announce(vector)
+        if peer.deadline_stamper is not None:
+            peer.deadline_stamper.observe(deadline)
 
     def _nop_tick(self, gk_index: int) -> None:
         gk = self.gatekeepers[gk_index]
@@ -420,19 +566,52 @@ class SimulatedWeaver:
     def crash_shard(self, index: int) -> None:
         self._crashed.add(self.shards[index].name)
 
+    def _recovery_stamp(self) -> VectorTimestamp:
+        """The timestamp recovery reloads and reconciliations carry.
+
+        In geo mode its deadline is pinned to *now*: every stamp issued
+        after the barrier carries a deadline at least one region reach
+        in the future, so the deadline fast path deterministically
+        orders recovered state before every post-recovery query — the
+        same guarantee ``prefer=BEFORE`` gives the oracle path.
+        """
+        ts = self.manager.gatekeepers[0].issue_timestamp()
+        if self._geo:
+            ts = dc_replace(ts, deadline=self.simulator.now)
+        return ts
+
     def _recover(self, name: str) -> None:
         if name.startswith("gk"):
             index = int(name[2:])
-            replacement = self.manager.recover_gatekeeper(index)
+            replacement = self.manager.recover_gatekeeper(
+                index, recovery_ts_factory=self._recovery_stamp
+            )
             replacement.tracer = self.tracer
+            if self._geo:
+                # The region's stamper outlives the crashed gatekeeper,
+                # so the replacement continues above every deadline the
+                # region ever issued or observed.
+                replacement.deadline_stamper = self._deadline_stampers[
+                    self.topology.region_of(name)
+                ]
             self.gatekeepers[index] = replacement
         else:
             index = int(name[5:])
-            replacement = self.manager.recover_shard(index)
+            replacement = self.manager.recover_shard(
+                index, recovery_ts_factory=self._recovery_stamp
+            )
             replacement.on_apply = self._apply_observer
             replacement.tracer = self.tracer
+            if self._geo:
+                replacement.ordering.skew_bound = self.skew_bound
             self.shards[index] = replacement
-            self._min_epoch[index] = self.manager.epoch
+        # Old-epoch messages still in flight (a partitioned channel can
+        # hold one past the barrier) must not apply after the barrier
+        # flush — they would land out of decided order.  Every shard
+        # drops them; the manager just reconciled their committed
+        # effects from the backing store.
+        for i in range(len(self.shards)):
+            self._min_epoch[i] = self.manager.epoch
         # Channel sequence numbers keep counting across the barrier —
         # each (gatekeeper, shard) stream stays FIFO and monotone, and
         # shards re-baseline their expected numbers after the epoch
@@ -461,7 +640,9 @@ class SimulatedWeaver:
         if shard.name in self._crashed:
             return  # messages to a dead server vanish
         if qtx.ts.epoch < self._min_epoch.get(shard_index, 0):
-            # Pre-recovery straggler: already in the reloaded state.
+            # Pre-barrier straggler: its committed effects are already
+            # in the reloaded (replacement) or reconciled (survivor)
+            # state; applying it now would violate decided order.
             self.stragglers_dropped += 1
             return
         shard.enqueue(gk_index, qtx)
@@ -572,7 +753,10 @@ class SimulatedWeaver:
                 callback(False, exc)
             return
         self.committed += 1
-        self.latency_tx.observe(self.simulator.now - submitted)
+        if self._geo:
+            self._region_committed[
+                self.topology.region_of(gk.name)
+            ] += 1
         per_shard: Dict[int, List[Operation]] = {}
         for op in operations:
             (owner,) = op.touched()
@@ -583,6 +767,21 @@ class SimulatedWeaver:
                 gk_index, shard_index, ts, tuple(ops_list), "tx",
                 trace_id=trace_id,
             )
+        # Tiga commit rule: a deadline-stamped transaction is not acked
+        # to the client until its deadline passes, so the deadline order
+        # can never contradict client-observed real time — the ack delay
+        # is the latency cost the geo benchmark measures against the
+        # oracle round trips it saves.
+        deadline = getattr(ts, "deadline", None)
+        if deadline is not None and deadline > self.simulator.now:
+            self.simulator.schedule_at(
+                deadline, self._ack_commit, ts, callback, submitted
+            )
+        else:
+            self._ack_commit(ts, callback, submitted)
+
+    def _ack_commit(self, ts, callback, submitted: float) -> None:
+        self.latency_tx.observe(self.simulator.now - submitted)
         if callback is not None:
             callback(True, ts)
 
@@ -775,7 +974,17 @@ class SimulatedWeaver:
         return self.network.stats.count("nop")
 
     def oracle_messages(self) -> int:
-        # Client-visible request count: both oracle flavours expose it as
-        # ``.stats`` (the replicated chain counts at its head), so the τ
-        # controller feeds on exactly one increment per request.
-        return self.oracle.stats.messages
+        """Client-visible oracle request count, *all* regions included.
+
+        The chain head counts one increment per request it serves — but
+        a geo deployment's region clients answer established-order reads
+        from their local replicas without ever touching the head, so the
+        head total alone undercounts coordination traffic by exactly the
+        regions' ``local_queries``.  The τ controller fed head-only
+        stats under-measures oracle pressure and pushes τ the wrong way
+        (see the regression test); aggregate before observe().
+        """
+        total = self.oracle.stats.messages
+        for rstats in self.parts.region_stats:
+            total += rstats.local_queries
+        return total

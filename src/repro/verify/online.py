@@ -119,11 +119,102 @@ class CheckerStats:
         self.settled = 0
         self.pruned = 0
         self.violations = 0
+        self.evidence_records = 0
+        self.evidence_hits = 0
         self.window_pending = 0
         self.window_writes = 0
         self.window_frontier = 0
         self.window_total = 0
         self.window_peak = 0
+
+
+class EvidenceCache:
+    """Bounded, durable trail of pruned commits (tag -> identity).
+
+    Watermark pruning deletes a retained commit's tag entry once no
+    write window references it, which used to cost the checker its
+    fine-grained verdict: a read settling *below* the pruning floor that
+    observed a pruned tag could no longer be told apart from a read of a
+    tag nobody ever committed, so both were convicted as "phantom-read".
+    This cache keeps the evidence needed to tell them apart — the pruned
+    commit's tag, stamp id, and store commit seq — in a
+    :class:`~repro.store.durable.DurableStore` version chain (the
+    durable home the store layer already maintains for committed state),
+    bounded by ``capacity`` with insertion-order eviction.
+    """
+
+    PREFIX = "__evidence__:"
+    SEQ_PREFIX = "__seq__:"
+
+    def __init__(self, store=None, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("evidence capacity must be >= 1")
+        if store is None:
+            from ..store.durable import DurableStore
+
+            store = DurableStore(":memory:")
+        self._store = store
+        self._capacity = capacity
+        self._order: List[Any] = []  # tags, insertion order
+        self._seq_order: List[StampId] = []  # stamp ids, insertion order
+
+    def __len__(self) -> int:
+        return len(self._order) + len(self._seq_order)
+
+    def record(self, tag, stamp_id: StampId, commit_seq: int) -> None:
+        """Retain one pruned commit's identity, evicting the oldest."""
+        tx = self._store.begin()
+        if tx.get(self.PREFIX + repr(tag)) is None:
+            self._order.append(tag)
+        tx.put(self.PREFIX + repr(tag), (stamp_id, commit_seq))
+        while len(self._order) > self._capacity:
+            victim = self._order.pop(0)
+            tx.delete(self.PREFIX + repr(victim))
+        tx.commit()
+
+    def lookup(self, tag) -> Optional[Tuple[StampId, int]]:
+        """The (stamp id, commit seq) evidence for ``tag``, or None."""
+        tx = self._store.begin()
+        try:
+            return tx.get(self.PREFIX + repr(tag))
+        finally:
+            tx.abort()
+
+    def record_seqs(self, stamp_id: StampId, seqs: List[int]) -> None:
+        """Retain store commit seqs whose ``txn.commit`` span is still
+        in flight when the watermark covers them — routine under
+        deadline-delayed geo acks, where the client span trails the
+        store span by up to the region's reach."""
+        if not seqs:
+            return
+        tx = self._store.begin()
+        key = self.SEQ_PREFIX + repr(stamp_id)
+        existing = tx.get(key)
+        if existing is None:
+            self._seq_order.append(stamp_id)
+            existing = []
+        tx.put(key, list(existing) + list(seqs))
+        while len(self._seq_order) > self._capacity:
+            victim = self._seq_order.pop(0)
+            tx.delete(self.SEQ_PREFIX + repr(victim))
+        tx.commit()
+
+    def take_seq(self, stamp_id: StampId) -> Optional[int]:
+        """Pop the oldest retained seq for ``stamp_id``, or None."""
+        tx = self._store.begin()
+        key = self.SEQ_PREFIX + repr(stamp_id)
+        seqs = tx.get(key)
+        if not seqs:
+            tx.abort()
+            return None
+        seq = seqs[0]
+        if len(seqs) > 1:
+            tx.put(key, seqs[1:])
+        else:
+            tx.delete(key)
+            self._seq_order.remove(stamp_id)
+        tx.commit()
+        return seq
 
 
 class OnlineChecker:
@@ -137,9 +228,21 @@ class OnlineChecker:
     the verdict.
     """
 
-    def __init__(self, compare: DecidedOrder, registry=None) -> None:
+    def __init__(
+        self,
+        compare: DecidedOrder,
+        registry=None,
+        evidence: Optional[EvidenceCache] = None,
+        evidence_capacity: int = 4096,
+    ) -> None:
         self.compare = compare
         self.stats = CheckerStats()
+        # Pruned-commit evidence: lets reads settling below the pruning
+        # floor keep the fine-grained stale-vs-phantom verdict.  Created
+        # lazily (first prune) unless one is injected, so checkers on
+        # runs that never prune pay nothing.
+        self._evidence = evidence
+        self._evidence_capacity = evidence_capacity
         self.watermark: Optional[VectorTimestamp] = None
         # Digest accumulators, kept in lockstep with History's.
         self._commit_digest = StreamDigest()
@@ -200,6 +303,13 @@ class OnlineChecker:
             seq = queued[1].pop(0)
             if not queued[1]:
                 del self._store_seqs[ts.id]
+        elif self._evidence is not None:
+            # The store span may have been watermark-pruned while this
+            # deadline-delayed ack was in flight; the evidence cache
+            # kept its seq.
+            seq = self._evidence.take_seq(ts.id)
+            if seq is not None:
+                self.stats.evidence_hits += 1
         provisional = seq is None
         if provisional:
             seq = arrival
@@ -474,18 +584,32 @@ class OnlineChecker:
         for read in batch:
             for vertex, observed_tag in read.reads:
                 observed: Optional[_Commit] = None
+                evidence_floor: Optional[int] = None
                 if observed_tag is not None:
                     observed = self._tags.get(observed_tag)
                     if observed is None:
-                        self._fire(
-                            "phantom-read", None,
-                            f"program {read.query_id} read tag "
-                            f"{observed_tag!r} on {vertex!r}, which no "
-                            f"committed transaction wrote",
-                            read, None,
+                        evidence = (
+                            self._evidence.lookup(observed_tag)
+                            if self._evidence is not None
+                            else None
                         )
-                        continue
-                    if self.compare(
+                        if evidence is None:
+                            self._fire(
+                                "phantom-read", None,
+                                f"program {read.query_id} read tag "
+                                f"{observed_tag!r} on {vertex!r}, which no "
+                                f"committed transaction wrote",
+                                read, None,
+                            )
+                            continue
+                        # The tag was real but pruned: judge the read
+                        # with the evidenced seq floor.  (The future-read
+                        # check needs the pruned stamp itself and is
+                        # skipped — a pruned commit settled far below
+                        # this read's watermark interval.)
+                        self.stats.evidence_hits += 1
+                        evidence_floor = evidence[1]
+                    elif self.compare(
                         observed.ts, read.ts
                     ) is Ordering.AFTER:
                         self._fire(
@@ -496,7 +620,12 @@ class OnlineChecker:
                             read, observed,
                         )
                         continue
-                floor = observed.commit_seq if observed is not None else -1
+                if observed is not None:
+                    floor = observed.commit_seq
+                elif evidence_floor is not None:
+                    floor = evidence_floor
+                else:
+                    floor = -1
                 for newer in self._vertex_chain(vertex):
                     if newer.commit_seq <= floor:
                         continue
@@ -531,7 +660,22 @@ class OnlineChecker:
         if self._stamps.get(commit.ts.id) is commit:
             del self._stamps[commit.ts.id]
         if self._tags.get(commit.tag) is commit:
+            # The tag leaves the live index; keep its identity in the
+            # bounded evidence cache so a later-settling read of this
+            # tag is judged stale (with the right seq floor), not
+            # hallucinated ("phantom-read", PR 7's downgrade).
+            self._ensure_evidence().record(
+                commit.tag, commit.ts.id, commit.commit_seq
+            )
+            self.stats.evidence_records += 1
             del self._tags[commit.tag]
+
+    def _ensure_evidence(self) -> EvidenceCache:
+        if self._evidence is None:
+            self._evidence = EvidenceCache(
+                capacity=self._evidence_capacity
+            )
+        return self._evidence
 
     def _prune(self, watermark: VectorTimestamp) -> None:
         for vertex in list(self._writes):
@@ -556,9 +700,15 @@ class OnlineChecker:
                 keep = [max(frontier, key=lambda f: f.key)]
             self.stats.pruned += len(frontier) - len(keep)
             self._frontier[shard] = keep
-        # Orphaned join state below the watermark can never match now.
-        for stamp_id, (ts, _seqs) in list(self._store_seqs.items()):
+        # Queued store seqs below the watermark leave the live index,
+        # but their evidence is retained: under deadline-delayed geo
+        # acks the client's txn.commit span routinely trails the store
+        # span past a GC tick, and the join must still land on the real
+        # seq or the digest diverges from the never-pruning History.
+        for stamp_id, (ts, seqs) in list(self._store_seqs.items()):
             if self._covered(ts, watermark):
+                self._ensure_evidence().record_seqs(stamp_id, seqs)
+                self.stats.evidence_records += 1
                 del self._store_seqs[stamp_id]
                 self.stats.pruned += 1
         for stamp_id, commits in list(self._unpatched.items()):

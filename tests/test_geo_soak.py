@@ -1,0 +1,49 @@
+"""Satellite: the chunked soak transplanted into the geo cluster.
+
+``run_geo_soak`` drives :func:`~repro.workloads.chaos.run_soak`-style
+chunked Zipf traffic across two regions while the chaos layer injects
+message faults, per-chunk server crashes, and a full region partition
+across the middle chunks.  The referee (History + OnlineChecker) runs
+throughout, and their digests must match after every chunk — on the
+simulator and on the real multiprocess transport.
+"""
+
+from repro.workloads.geo import run_geo_soak
+
+
+class TestGeoSoakSim:
+    def test_soak_with_crashes_and_region_partition(self):
+        report = run_geo_soak(3, transport="sim", chunks=4)
+        assert report.ok, (
+            report.online_violations, report.offline_violations,
+            report.parity_failures,
+        )
+        # The chaos actually happened: servers died and recovered while
+        # regions 0 and 1 were partitioned across the middle chunks.
+        assert report.recoveries >= 1
+        assert report.metrics.get("network.faults.partition", 0) > 0
+        # Digest parity held after every chunk and at the end.
+        assert report.parity_checks == report.chunks + 1
+        assert report.parity_failures == 0
+        assert report.digest == report.offline_digest
+        assert report.committed > 0
+        assert report.reads_completed > 0
+
+    def test_soak_is_deterministic_per_seed(self):
+        first = run_geo_soak(5, transport="sim", chunks=2)
+        second = run_geo_soak(5, transport="sim", chunks=2)
+        assert first.ok and second.ok
+        assert first.digest == second.digest
+        assert first.committed == second.committed
+
+
+class TestGeoSoakProcess:
+    def test_soak_on_the_process_transport(self):
+        report = run_geo_soak(3, transport="process", chunks=4)
+        assert report.ok, (
+            report.online_violations, report.offline_violations,
+            report.parity_failures,
+        )
+        assert report.recoveries >= 1
+        assert report.parity_failures == 0
+        assert report.digest == report.offline_digest

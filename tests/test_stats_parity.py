@@ -156,6 +156,8 @@ GOLDEN_DIRECT_METRICS = frozenset({
     "ordering.cache_hits",
     "ordering.cache_misses",
     "ordering.cached",
+    "ordering.deadline_fallback",
+    "ordering.deadline_fastpath",
     "ordering.heap_compares_saved",
     "ordering.proactive",
     "ordering.reactive",

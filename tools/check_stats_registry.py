@@ -41,6 +41,9 @@ ABSORBED = {
     # Exported by OnlineChecker.register_metrics, not the collect-layer
     # helper: the checker rides whichever deployment it is attached to.
     "CheckerStats": "checker.*",
+    # Geo deployments only: registered when num_regions > 1, so the
+    # single-region golden metric surface stays unchanged.
+    "RegionStats": "region.<r>.*",
 }
 
 # Deliberately outside the registry, with the reason on record.
