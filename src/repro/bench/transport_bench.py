@@ -16,13 +16,23 @@ resolution throughput **only on multi-core hardware** — the recorded
 ``cpu_count`` tells the consumer whether the scaling number means
 anything on the host that produced it.
 
-``benchmarks/test_transport_scaling.py`` records the result as
-``BENCH_transport.json`` at the repo root.
+``benchmarks/test_transport_scaling.py`` records the results as
+``BENCH_transport.json`` at the repo root (one section per experiment,
+each carrying the ``cpu_count`` it was measured on; see
+:func:`record_bench` for the provenance rules).
+
+:func:`resident_comparison` times the same query batch in both
+execution modes against the same worker processes: ``images`` pulls
+vertex images to the client every round, ``resident`` ships the program
+to the shards and forwards frontiers peer-to-peer, so only O(shards)
+coordination frames per round touch the wire the client can see.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 import random
 import time
 from typing import Dict, List, Tuple
@@ -30,8 +40,11 @@ from typing import Dict, List, Tuple
 from ..cluster.process import ProcessWeaver
 from ..db.config import WeaverConfig
 from ..db.operations import CreateEdge, CreateVertex
-from ..programs.library import CollectReachable
+from ..programs.library import Bfs, CollectReachable, params
 from ..sim.deployment import SimulatedWeaver
+
+#: Scaling/speedup bars only mean something with real parallel hardware.
+MIN_MEANINGFUL_CORES = 4
 
 QueryResults = List[Tuple[str, ...]]
 
@@ -206,3 +219,143 @@ def scaling_experiment(
         ),
         "results_equal": all(p["results_equal"] for p in points),
     }
+
+
+def _load_graph(db: ProcessWeaver, handles, edges, ops_per_tx=100) -> None:
+    tx = db.begin_transaction()
+    pending = 0
+    for handle in handles:
+        tx.create_vertex(handle)
+        pending += 1
+        if pending >= ops_per_tx:
+            tx.commit()
+            tx = db.begin_transaction()
+            pending = 0
+    for src, dst in edges:
+        tx.create_edge(src, dst)
+        pending += 1
+        if pending >= ops_per_tx:
+            tx.commit()
+            tx = db.begin_transaction()
+            pending = 0
+    if pending:
+        tx.commit()
+    else:
+        tx.abort()
+    db.drain()
+
+
+def _time_mode(db: ProcessWeaver, mode: str, roots) -> Dict:
+    """Time the query batch in one execution mode on live workers."""
+    db.config.program_execution = mode
+    # Warm-up pays the readiness storm / page-in / first-connect costs.
+    db.run_program(Bfs(), roots[0], params(depth=0))
+    before = db.metrics.snapshot()
+    results: QueryResults = []
+    started = time.perf_counter()
+    for root in roots:
+        outcome = db.run_program(Bfs(), root, params(depth=0))
+        results.append(tuple(sorted(outcome.results)))
+    elapsed = time.perf_counter() - started
+    after = db.metrics.snapshot()
+
+    def delta(key: str) -> float:
+        return after.get(key, 0) - before.get(key, 0)
+
+    point = {
+        "elapsed_seconds": elapsed,
+        "throughput_qps": len(roots) / elapsed if elapsed > 0 else 0.0,
+        "client_requests": delta("transport.requests"),
+        "client_bytes_sent": delta("transport.bytes_sent"),
+        "client_bytes_received": delta("transport.bytes_received"),
+        "rounds": delta("program.batch_rounds"),
+        "results": results,
+    }
+    rounds = point["rounds"]
+    if mode == "resident":
+        # Peer coordination per round: forwards + round_go + reports,
+        # every one bounded by the shard count, not the frontier size.
+        coordination = (
+            delta("program.resident.forwards_sent")
+            + delta("program.resident.round_reports")
+        )
+        point["forwards_sent"] = delta("program.resident.forwards_sent")
+        point["wire_messages_per_round"] = (
+            coordination / rounds if rounds else 0.0
+        )
+    else:
+        # Image pulls: one resolve request per touched shard per round,
+        # whose replies carry O(frontier) vertex images back.
+        point["wire_messages_per_round"] = (
+            delta("program.shard_batches") / rounds if rounds else 0.0
+        )
+        point["images_pulled"] = delta("program.vertices_resolved")
+    return point
+
+
+def resident_comparison(
+    num_vertices: int = 800,
+    avg_degree: int = 12,
+    num_shards: int = 4,
+    num_queries: int = 12,
+    seed: int = 37,
+) -> Dict:
+    """Images vs resident on the same graph and the same workers.
+
+    Multi-shard BFS batch, hash-partitioned so every query crosses
+    shards.  ``speedup`` is images-elapsed / resident-elapsed; on hosts
+    below :data:`MIN_MEANINGFUL_CORES` the number is recorded but makes
+    no parallelism claim.
+    """
+    handles, edges = graph_spec(num_vertices, avg_degree, seed)
+    roots = query_roots(handles, num_queries, seed + 2)
+    config = WeaverConfig(
+        num_shards=num_shards, num_gatekeepers=2, partitioner="hash"
+    )
+    with ProcessWeaver(config) as db:
+        _load_graph(db, handles, edges)
+        images = _time_mode(db, "images", roots)
+        resident = _time_mode(db, "resident", roots)
+    results_equal = images.pop("results") == resident.pop("results")
+    return {
+        "cpu_count": os.cpu_count(),
+        "num_vertices": num_vertices,
+        "num_edges": len(edges),
+        "num_shards": num_shards,
+        "num_queries": num_queries,
+        "images": images,
+        "resident": resident,
+        "speedup": (
+            images["elapsed_seconds"] / resident["elapsed_seconds"]
+            if resident["elapsed_seconds"] > 0
+            else 0.0
+        ),
+        "results_equal": results_equal,
+    }
+
+
+def record_bench(path, section: str, result: Dict) -> bool:
+    """Merge ``result`` under ``section`` in the bench JSON at ``path``.
+
+    Provenance rule: a recording measured on a host with at least
+    :data:`MIN_MEANINGFUL_CORES` cores is never overwritten by one from
+    a smaller host — scaling and speedup numbers from a 1-core box would
+    silently replace the only meaningful archive.  Returns whether the
+    section was written.  Legacy flat files (the pre-section layout) are
+    adopted as the ``scaling`` section.
+    """
+    path = pathlib.Path(path)
+    data: Dict = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+        if "points" in data:  # legacy flat layout
+            data = {"scaling": data}
+    existing = data.get(section)
+    new_cores = result.get("cpu_count") or 1
+    if existing is not None:
+        old_cores = existing.get("cpu_count") or 1
+        if old_cores >= MIN_MEANINGFUL_CORES > new_cores:
+            return False
+    data[section] = result
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return True

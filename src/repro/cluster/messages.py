@@ -88,6 +88,49 @@ class ProgramResponse:
 
 
 @dataclass(frozen=True)
+class ProgramStart:
+    """Ship a node program to the start vertex's owning shard (section 4).
+
+    The shard-resident execution path: the client submits one of these
+    to the coordinator worker (the start vertex's owner) and receives
+    only the aggregated result — program logic runs at the shards, and
+    frontiers travel worker-to-worker as :class:`FrontierForward`
+    frames instead of vertex images travelling to the client.
+
+    ``frontier`` is the keyed initial frontier: ``(order_key, handle,
+    params)`` triples, where ``order_key`` is the tuple that totally
+    orders entries exactly like the batched executor's append order
+    (children extend their parent's key with the hop index).
+    ``cache_tail`` is the client-computed program-cache key tail
+    (section 4.6); None disables caching for this run.
+    """
+
+    ts: VectorTimestamp
+    query_id: int
+    program: str
+    frontier: Tuple[Tuple[Any, str, Any], ...]
+    trace_id: Optional[int] = None
+    cache_tail: Optional[Any] = None
+    max_visits: int = 10_000_000
+
+
+@dataclass(frozen=True)
+class FrontierForward:
+    """One worker's next-round hops for another worker (section 4.1).
+
+    The peer-to-peer frontier frame of shard-resident execution:
+    ``hops`` carries the ``(order_key, handle, params)`` triples owned
+    by the destination shard for ``round``.  Per (src, dst, round) there
+    is exactly one of these — per-round wire traffic is O(shards), not
+    O(frontier).
+    """
+
+    query_id: int
+    round: int
+    hops: Tuple[Tuple[Any, str, Any], ...]
+
+
+@dataclass(frozen=True)
 class Heartbeat:
     """Server liveness report to the cluster manager (section 3.2)."""
 

@@ -8,22 +8,25 @@ server and the timeline oracle run as separate OS processes speaking
 length-prefixed :mod:`~repro.cluster.wire` frames over UNIX sockets
 (:class:`~repro.cluster.transport.ProcessTransport`).
 
-Division of labour per node program:
+Division of labour per node program (``config.program_execution``):
 
-* the **client process** keeps the gatekeepers, the backing store, and
-  the real :class:`~repro.programs.framework.ProgramExecutor` — program
-  logic runs here, on plain vertex images, with exactly the sequential
-  semantics (halt, dedup, per-vertex state) of the other deployments;
-* each **shard worker** owns the multi-version partition and serves
-  batch vertex *resolution*: the expensive visibility work (refinable
-  timestamp comparisons over property and edge version chains) runs in
-  the workers, in parallel across shards, because the client writes one
-  pipelined ``resolve`` request per shard per round before reading any
-  reply.
+* ``"resident"`` (the default) ships the program *to the data*: the
+  client submits one :class:`~repro.cluster.messages.ProgramStart` to
+  the start vertex's owning shard, each worker runs its slice of every
+  scatter-gather round against its local snapshot, and next frontiers
+  travel worker-to-worker as ``FrontierForward`` frames — O(shards)
+  wire messages per round instead of O(frontier).  The coordinating
+  worker detects round quiescence and replies with only the aggregated
+  result and read set (section 4's shard-to-shard propagation);
+* ``"images"`` keeps the legacy split: the client-side
+  :class:`~repro.programs.framework.ProgramExecutor` runs program logic
+  on plain vertex images pulled per round via pipelined ``resolve``
+  requests.  Programs carrying constructor state (not reconstructible
+  from their name) always fall back to this path.
 
-That split is what the Fig 13-style scaling benchmark measures: adding
-worker processes adds resolution throughput while results stay
-byte-identical to the simulated twin.
+Either way results stay byte-identical to the simulated twin; the
+Fig 13-style scaling benchmark measures what residency buys on top of
+parallel resolution.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import multiprocessing
 import os
 import socket
 import tempfile
+from types import SimpleNamespace
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.gatekeeper import Gatekeeper, sync_announce_all
@@ -40,11 +44,14 @@ from ..core.vclock import VectorTimestamp
 from ..db.config import WeaverConfig
 from ..db.operations import graph_state_from_store
 from ..db.transactions import Transaction
-from ..errors import ClusterError, NoSuchVertex
+from ..errors import ClusterError, NoSuchVertex, ProgramError
+from ..obs.collect import scalar_fields
+from ..programs.caching import ProgramCache
 from ..programs.framework import NodeProgram, ProgramResult
+from ..programs.library import resident_eligible
 from ..programs.state import WatermarkRegistry
 from .builder import build_cluster
-from .messages import ProgramRequest, QueuedTransaction
+from .messages import ProgramRequest, ProgramStart, QueuedTransaction
 from .transport import ProcessTransport, TransportError
 from .worker import OracleProxy, oracle_worker_main, shard_worker_main
 
@@ -269,6 +276,18 @@ class ProcessWeaver:
         self.watermarks = WatermarkRegistry(cmp=lambda a, b: a.compare(b))
 
         self._procs: Dict[int, Any] = {}
+        #: Worker↔worker listening-socket paths, one per shard index.
+        #: Bound before the owning worker forks, so peer connects land
+        #: in the backlog no matter when the worker reaches accept().
+        self._peer_paths: Dict[int, str] = {
+            index: os.path.join(self._tmpdir, f"peer{index}.sock")
+            for index in range(cfg.num_shards)
+        }
+        #: Last absorbed worker-side metrics (dotted names) and program
+        #: counter sums — kept so `repro stats` after close() still
+        #: reports worker work (deployment-neutral program.* metrics).
+        self._worker_metrics: Dict[str, float] = {}
+        self._worker_prog_sum: Dict[str, float] = {}
         for index in range(cfg.num_shards):
             self._spawn_worker(index)
 
@@ -298,10 +317,21 @@ class ProcessWeaver:
         image: Optional[tuple] = None,
         recovery_ts: Optional[VectorTimestamp] = None,
         store_path: Optional[str] = None,
+        placement: Optional[Dict[str, int]] = None,
     ) -> None:
         parent_sock, child_sock = socket.socketpair(
             socket.AF_UNIX, socket.SOCK_STREAM
         )
+        # Rebind this worker's peer listener fresh: a replacement must
+        # not accept frontier frames queued for its dead predecessor.
+        peer_path = self._peer_paths[index]
+        try:
+            os.unlink(peer_path)
+        except OSError:
+            pass
+        peer_listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        peer_listener.bind(peer_path)
+        peer_listener.listen(16)
         proc = self._mp.Process(
             target=shard_worker_main,
             args=(
@@ -315,10 +345,18 @@ class ProcessWeaver:
                 recovery_ts,
                 store_path,
             ),
+            kwargs=dict(
+                peer_listener=peer_listener,
+                peer_paths=dict(self._peer_paths),
+                placement=placement,
+                enable_program_cache=self.config.enable_program_cache,
+                program_cache_capacity=self.config.program_cache_capacity,
+            ),
             daemon=True,
         )
         proc.start()
         child_sock.close()
+        peer_listener.close()
         self._procs[index] = proc
         self.transport.add_channel(self.shard_name(index), parent_sock)
 
@@ -369,10 +407,21 @@ class ProcessWeaver:
 
     def _commit_transaction(self, tx: Transaction) -> VectorTimestamp:
         gk = self.gatekeepers[tx.gatekeeper_index]
+        delta: Dict[str, int] = {}
         for vertex in tx.created_vertices:
-            self._placement[vertex] = self.mapping.assign(
-                vertex, tx=tx.store_tx
-            )
+            shard = self.mapping.assign(vertex, tx=tx.store_tx)
+            self._placement[vertex] = shard
+            delta[vertex] = shard
+        if delta:
+            # One-way placement gossip: every worker partitions next
+            # frontiers locally, so each must know who owns new
+            # vertices.  FIFO per channel — the delta is flushed before
+            # any later request (e.g. advance_to) on the same socket.
+            for shard_index in self._live_shards():
+                self.transport.send(
+                    "client", self.shard_name(shard_index),
+                    "placement", delta,
+                )
         ts = gk.commit_prepared(
             tx.store_tx, tx.touched_vertices, trace_id=tx.trace_id
         )
@@ -475,9 +524,19 @@ class ProcessWeaver:
         start: StartSpec,
         params: Any = None,
         at: Optional[VectorTimestamp] = None,
+        use_cache: bool = False,
+        cache_key: Optional[Hashable] = None,
     ) -> ProgramResult:
-        """Execute a node program on a consistent snapshot, resolving
-        vertices through the worker processes."""
+        """Execute a node program on a consistent snapshot.
+
+        With ``config.program_execution == "resident"`` and a stock
+        program, execution is shipped to the shard workers (one
+        ``program_start`` request; frontiers travel peer-to-peer);
+        otherwise the client-side executor pulls vertex images.  With
+        ``use_cache`` (requires ``enable_program_cache``), the
+        coordinating worker may serve a memoized result after
+        revalidating every fragment's change counters.
+        """
         frontier = (
             [(start, params)] if isinstance(start, str) else list(start)
         )
@@ -494,6 +553,24 @@ class ProcessWeaver:
             ts=ts, query_id=query_id,
         )
         self._make_shards_ready(ts)
+        if (
+            self.config.program_execution == "resident"
+            and frontier
+            and resident_eligible(program)
+        ):
+            cache_tail: Optional[Hashable] = None
+            if use_cache and self.config.enable_program_cache:
+                key_tail = (
+                    cache_key if cache_key is not None else repr(params)
+                )
+                # Historical queries read a different cut of the graph:
+                # the snapshot identity is part of the key (section 4.6).
+                if at is not None:
+                    key_tail = (key_tail, at.id)
+                cache_tail = key_tail
+            return self._run_resident(
+                program, frontier, ts, query_id, trace_id, cache_tail
+            )
         self.watermarks.start(query_id, ts)
         resolver = ProcessShardResolver(self, ts, query_id, trace_id)
         try:
@@ -513,6 +590,70 @@ class ProcessWeaver:
             trace_id, "program.complete", node="client", query_id=query_id
         )
         return result
+
+    def _run_resident(
+        self,
+        program: NodeProgram,
+        frontier: List[Tuple[str, Any]],
+        ts: VectorTimestamp,
+        query_id: int,
+        trace_id: int,
+        cache_tail: Optional[Hashable],
+    ) -> ProgramResult:
+        """Ship the program to the data: one ``program_start`` request
+        to the start vertex's owner, which coordinates the rounds and
+        replies with the aggregated result."""
+        live = self._live_shards()
+        if not live:
+            raise ClusterError("no live shard workers")
+        # Initial frontier entry i carries order key (i,): children
+        # append their hop index, so sorting a round's entries by key
+        # reproduces the batched executor's append order exactly.
+        keyed = tuple(
+            ((i,), handle, entry_params)
+            for i, (handle, entry_params) in enumerate(frontier)
+        )
+        coordinator = self._shard_of(frontier[0][0])
+        if coordinator is None or coordinator not in live:
+            coordinator = live[0]
+        ps = ProgramStart(
+            ts, query_id, program.name, keyed, trace_id=trace_id,
+            cache_tail=cache_tail, max_visits=self.executor._max_visits,
+        )
+        self.watermarks.start(query_id, ts)
+        try:
+            payload = self.transport.request(
+                "client", self.shard_name(coordinator), "program_start", ps
+            )
+        except TransportError as exc:
+            raise ProgramError(str(exc)) from exc
+        finally:
+            self.watermarks.finish(query_id)
+        if payload.get("error"):
+            raise ProgramError(payload["error"])
+        self.programs_run += 1
+        if payload.get("cache_hit"):
+            self.tracer.emit(
+                trace_id, "program.complete", node="client",
+                query_id=query_id, cache_hit=True,
+            )
+        else:
+            self.tracer.emit(
+                trace_id, "program.complete", node="client",
+                query_id=query_id,
+            )
+        ctx = SimpleNamespace(
+            query_id=payload["query_id"],
+            ts=payload["ts"],
+            results=list(payload["results"]),
+            states=dict(payload["states"]),
+            vertices_visited=payload["vertices_visited"],
+            hops=payload["hops"],
+            halted=payload["halted"],
+            read_set=set(payload["read_set"]),
+            rounds=payload["rounds"],
+        )
+        return ProgramResult(ctx)
 
     def checkpoint(self) -> VectorTimestamp:
         sync_announce_all(self.gatekeepers)
@@ -538,9 +679,14 @@ class ProcessWeaver:
             self._request_all_shards("collect_below", watermark)
         )
         oracle_reclaimed = self.oracle.collect_below(watermark)
-        store_reclaimed = self.store.collect_below(
-            self.store.safe_compact_version()
-        )
+        if getattr(self.store, "background_compaction_active", False):
+            # The opportunistic compactor owns store reclamation; the
+            # GC tick must not double-compact under it.
+            store_reclaimed = 0
+        else:
+            store_reclaimed = self.store.collect_below(
+                self.store.safe_compact_version()
+            )
         return {
             "graph": graph_reclaimed,
             "oracle": oracle_reclaimed,
@@ -612,43 +758,86 @@ class ProcessWeaver:
             )
             self._spawn_worker(
                 index, epoch=self._epoch, image=image,
-                recovery_ts=recovery_ts,
+                recovery_ts=recovery_ts, placement=placement,
             )
         self.recoveries += 1
 
     # -- statistics ------------------------------------------------------
 
-    def _process_metrics(self) -> Dict[str, float]:
-        """Aggregate worker-side shard/ordering counters over RPC, under
-        the same dotted names the in-process deployments export."""
-        out: Dict[str, float] = {
-            "process.workers": len(self._live_shards()),
-            "process.recoveries": self.recoveries,
-        }
-        if self._closed:
-            return out
-        try:
-            replies = self._request_all_shards("stats", None)
-        except TransportError:
-            return out
+    def _absorb_worker_stats(self, replies: List[dict]) -> None:
+        """Fold the workers' extended stats snapshots into the cached
+        dotted-metric aggregate (wholesale: worker counters are
+        cumulative since worker start)."""
+        metrics: Dict[str, float] = {}
+        prog_sum: Dict[str, float] = {}
         stragglers = 0
         cache_hits = cache_misses = cache_entries = 0
+        pc_hits = pc_misses = pc_invalidations = pc_entries = 0
         for snap in replies:
             for key, value in snap["shard"].items():
                 out_key = f"shard.{key}"
-                out[out_key] = out.get(out_key, 0) + value
+                metrics[out_key] = metrics.get(out_key, 0) + value
             for key, value in snap["ordering"].items():
                 out_key = f"ordering.{key}"
-                out[out_key] = out.get(out_key, 0) + value
+                metrics[out_key] = metrics.get(out_key, 0) + value
             stragglers += snap["stragglers_dropped"]
             hits, misses, entries = snap["cache"]
             cache_hits += hits
             cache_misses += misses
             cache_entries += entries
-        out["ordering.cache_hits"] = cache_hits
-        out["ordering.cache_misses"] = cache_misses
-        out["ordering.cache_entries"] = cache_entries
-        out["process.stragglers_dropped"] = stragglers
+            for key, value in snap.get("program", {}).items():
+                prog_sum[key] = prog_sum.get(key, 0) + value
+            for key, value in snap.get("resident", {}).items():
+                out_key = f"program.resident.{key}"
+                metrics[out_key] = metrics.get(out_key, 0) + value
+            for key, value in snap.get("peer_transport", {}).items():
+                out_key = f"transport.worker.{key}"
+                metrics[out_key] = metrics.get(out_key, 0) + value
+            ph, pm, pi, pl = snap.get("prog_cache", (0, 0, 0, 0))
+            pc_hits += ph
+            pc_misses += pm
+            pc_invalidations += pi
+            pc_entries += pl
+        metrics["ordering.cache_hits"] = cache_hits
+        metrics["ordering.cache_misses"] = cache_misses
+        metrics["ordering.cache_entries"] = cache_entries
+        metrics["process.stragglers_dropped"] = stragglers
+        if self.config.enable_program_cache:
+            metrics["program.cache.hits"] = pc_hits
+            metrics["program.cache.misses"] = pc_misses
+            metrics["program.cache.invalidations"] = pc_invalidations
+            metrics["program.cache.entries"] = pc_entries
+        self._worker_metrics = metrics
+        self._worker_prog_sum = prog_sum
+
+    def _process_metrics(self) -> Dict[str, float]:
+        """Aggregate worker-side counters over RPC, under the same
+        dotted names the in-process deployments export.
+
+        Registered *last* with the metrics registry, so the merged
+        ``program.*`` values emitted here (client executor + worker
+        residents) override the client-only collector — program metrics
+        stay deployment-neutral.  After ``close()`` the last absorbed
+        worker aggregate is served from cache, so a final ``repro
+        stats`` still sees worker-side work.
+        """
+        out: Dict[str, float] = {
+            "process.workers": len(self._live_shards()),
+            "process.recoveries": self.recoveries,
+        }
+        if not self._closed:
+            try:
+                self._absorb_worker_stats(
+                    self._request_all_shards("stats", None)
+                )
+            except TransportError:
+                pass
+        out.update(self._worker_metrics)
+        if self._worker_prog_sum:
+            for key, value in scalar_fields(self.executor.stats).items():
+                out[f"program.{key}"] = (
+                    value + self._worker_prog_sum.get(key, 0)
+                )
         return out
 
     # -- lifecycle -------------------------------------------------------
@@ -657,11 +846,16 @@ class ProcessWeaver:
         """Shut every worker down cleanly; kill whatever will not die."""
         if self._closed:
             return
-        self._closed = True
         try:
             self.transport.flush()
+            # Final stats absorb before the workers go away: merged
+            # program.* metrics survive into post-close snapshots.
+            self._absorb_worker_stats(
+                self._request_all_shards("stats", None)
+            )
         except TransportError:
             pass
+        self._closed = True
         for index in list(self._procs):
             name = self.shard_name(index)
             try:

@@ -45,7 +45,7 @@ from . import messages
 
 #: Bump whenever a registered class's field tuple changes, whenever a
 #: class is added or removed, or whenever a tag's encoding changes.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
@@ -63,6 +63,9 @@ WIRE_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "AnnounceMessage": ("src", "vector"),
     "ProgramRequest": ("ts", "query_id", "vertices", "trace_id"),
     "ProgramResponse": ("query_id", "next_hops", "emitted"),
+    "ProgramStart": ("ts", "query_id", "program", "frontier", "trace_id",
+                     "cache_tail", "max_visits"),
+    "FrontierForward": ("query_id", "round", "hops"),
     "Heartbeat": ("server", "epoch", "sent_at"),
     # db/operations.py — the payloads of a QueuedTransaction.
     "CreateVertex": ("handle",),
@@ -83,6 +86,8 @@ _CLASSES: Dict[str, Type] = {
         messages.AnnounceMessage,
         messages.ProgramRequest,
         messages.ProgramResponse,
+        messages.ProgramStart,
+        messages.FrontierForward,
         messages.Heartbeat,
         ops.CreateVertex,
         ops.DeleteVertex,

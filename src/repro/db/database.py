@@ -518,10 +518,15 @@ class Weaver:
         )
         # Store compaction uses the store's own commit counter, not the
         # vector watermark: every version below the oldest open store
-        # snapshot is superseded for all future readers.
-        store_reclaimed = self.store.collect_below(
-            self.store.safe_compact_version()
-        )
+        # snapshot is superseded for all future readers.  When the
+        # opportunistic background compactor owns reclamation, the GC
+        # tick must not double-compact under it.
+        if getattr(self.store, "background_compaction_active", False):
+            store_reclaimed = 0
+        else:
+            store_reclaimed = self.store.collect_below(
+                self.store.safe_compact_version()
+            )
         return {
             "graph": graph_reclaimed,
             "oracle": oracle_reclaimed,

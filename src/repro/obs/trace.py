@@ -26,6 +26,7 @@ kind                      emitted when
 ``oracle.decide``         the timeline oracle committed a new order
 ``program.submit``        a node program leaves the client
 ``program.stamp``         a gatekeeper stamps the program
+``program.round``         a shard worker executed one resident round
 ``program.complete``      the program's gather finished
 ``txn.commit``            workload-level commit record (tag + writes)
 ``program.read``          workload-level read record (observed tags)

@@ -51,6 +51,11 @@ class ChangeTracker:
             for vertex, counter in observed.items()
         )
 
+    def reset(self) -> None:
+        """Forget all counters (epoch change: cached evidence recorded
+        against the old epoch's applies must not validate new reads)."""
+        self._counters.clear()
+
 
 class CacheEntry:
     """One memoized result plus its validity evidence."""
@@ -112,6 +117,13 @@ class ProgramCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
+
+    def invalidate(self, key: CacheKey) -> None:
+        """Drop one entry whose validity was refuted externally (the
+        shard-resident path revalidates remote read-set fragments with
+        peer counter checks the local tracker cannot see)."""
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
 
     def clear(self) -> None:
         self._entries.clear()

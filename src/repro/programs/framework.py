@@ -175,6 +175,92 @@ def _hop_key(handle: str, params: Any) -> Optional[Hashable]:
     return (handle, pkey)
 
 
+def run_entry(
+    program: NodeProgram,
+    handle: str,
+    params: Any,
+    node: Optional[VertexView],
+    ctx: ProgramContext,
+) -> List[Tuple[str, Any]]:
+    """Process one frontier entry — the per-entry semantics shared by
+    every execution path (sequential, round-batched, shard-resident).
+
+    Adds ``handle`` to the read set, dispatches invisible vertices to
+    ``on_missing``, binds per-vertex state, runs the program, and
+    returns the validated next-hop list (empty for missing vertices).
+    """
+    ctx.read_set.add(handle)
+    if node is None:
+        program.on_missing(handle, params, ctx)
+        return []
+    node.prog_state = ctx.state_for(handle, program.init_state)
+    ctx.vertices_visited += 1
+    hops = program.run(node, params, ctx)
+    if hops is None:
+        return []
+    out: List[Tuple[str, Any]] = []
+    for hop in hops:
+        if (
+            not isinstance(hop, tuple)
+            or len(hop) != 2
+            or not isinstance(hop[0], str)
+        ):
+            raise ProgramError(
+                f"{program.name} returned a bad next-hop: {hop!r}"
+            )
+        out.append(hop)
+    return out
+
+
+def dedup_round(
+    entries: List[Any],
+    stats: Optional[ProgramStats] = None,
+    hop_of: Optional[Callable[[Any], Tuple[str, Any]]] = None,
+) -> List[Any]:
+    """Drop same-round repeats of one (vertex, params) hop.
+
+    ``entries`` are (handle, params) pairs by default; ``hop_of``
+    extracts the pair from richer records (the shard-resident engine
+    dedups keyed ``(order_key, handle, params)`` triples).  First
+    occurrence wins; hops whose params resist value-hashing pass
+    through untouched.  ``stats.dedup_hits`` counts the drops.
+    """
+    seen: set = set()
+    kept: List[Any] = []
+    # Params content keys memoized by object identity: one program run
+    # emits many hops sharing one params object, and the ids stay
+    # unique for the pass because ``entries`` keeps every object alive.
+    # Distinct contents are interned to small ints so the seen-set
+    # hashes (handle, int) pairs, not nested tuples.
+    param_key_ids: Dict[int, Optional[int]] = {}
+    interned: Dict[Hashable, int] = {}
+    missing = param_key_ids.get
+    dropped = 0
+    for entry in entries:
+        handle, params = entry if hop_of is None else hop_of(entry)
+        pid = id(params)
+        kid = missing(pid, -1)
+        if kid == -1:
+            pkey = _params_key(params)
+            if pkey is None:
+                kid = None
+            else:
+                kid = interned.setdefault(pkey, len(interned))
+            param_key_ids[pid] = kid
+        if kid is None:
+            kept.append(entry)
+            continue
+        key = (handle, kid)
+        if key in seen:
+            dropped += 1
+        else:
+            seen.add(key)
+            kept.append(entry)
+    if stats is not None:
+        stats.dedup_hits += dropped
+    return kept
+
+
 class ProgramExecutor:
     """Breadth-first driver of a node program across the graph."""
 
@@ -220,11 +306,6 @@ class ProgramExecutor:
         visits = 0
         max_visits = self._max_visits
         dedup = program.dedup_hops
-        run = program.run
-        on_missing = program.on_missing
-        init_state = program.init_state
-        read_set_add = ctx.read_set.add
-        state_for = ctx.state_for
         while frontier and not ctx.halted:
             if dedup:
                 frontier = self._dedup_round(frontier)
@@ -233,7 +314,6 @@ class ProgramExecutor:
             views = resolve_many([handle for handle, _ in frontier])
             views_get = views.get
             next_frontier: List[Tuple[str, Any]] = []
-            append = next_frontier.append
             round_hops = 0
             for handle, params in frontier:
                 if visits >= max_visits:
@@ -241,27 +321,15 @@ class ProgramExecutor:
                         f"visit budget exhausted ({max_visits})"
                     )
                 visits += 1
-                read_set_add(handle)
                 node = views_get(handle)
+                hops = run_entry(program, handle, params, node, ctx)
                 if node is None:
-                    on_missing(handle, params, ctx)
+                    # Missing vertices do not observe a mid-round halt:
+                    # the sequential twin's ``continue`` skips its halt
+                    # check too, and equivalence is exact.
                     continue
-                node.prog_state = state_for(handle, init_state)
-                ctx.vertices_visited += 1
-                hops = run(node, params, ctx)
-                if hops is not None:
-                    for hop in hops:
-                        if (
-                            not isinstance(hop, tuple)
-                            or len(hop) != 2
-                            or not isinstance(hop[0], str)
-                        ):
-                            raise ProgramError(
-                                f"{program.name} returned a bad "
-                                f"next-hop: {hop!r}"
-                            )
-                        round_hops += 1
-                        append(hop)
+                round_hops += len(hops)
+                next_frontier.extend(hops)
                 if ctx.halted:
                     break
             ctx.hops += round_hops
@@ -276,39 +344,7 @@ class ProgramExecutor:
         Only for programs declaring ``dedup_hops``; hops whose params
         resist value-hashing pass through untouched.
         """
-        seen: set = set()
-        kept: List[Tuple[str, Any]] = []
-        # Params content keys memoized by object identity: one program
-        # run emits many hops sharing one params object, and the ids
-        # stay unique for the pass because ``frontier`` keeps every
-        # object alive.  Distinct contents are interned to small ints so
-        # the seen-set hashes (handle, int) pairs, not nested tuples.
-        param_key_ids: Dict[int, Optional[int]] = {}
-        interned: Dict[Hashable, int] = {}
-        missing = param_key_ids.get
-        dropped = 0
-        for hop in frontier:
-            params = hop[1]
-            pid = id(params)
-            kid = missing(pid, -1)
-            if kid == -1:
-                pkey = _params_key(params)
-                if pkey is None:
-                    kid = None
-                else:
-                    kid = interned.setdefault(pkey, len(interned))
-                param_key_ids[pid] = kid
-            if kid is None:
-                kept.append(hop)
-                continue
-            key = (hop[0], kid)
-            if key in seen:
-                dropped += 1
-            else:
-                seen.add(key)
-                kept.append(hop)
-        self.stats.dedup_hits += dropped
-        return kept
+        return dedup_round(frontier, self.stats)
 
     # -- the seed per-vertex loop (compatibility shim) --------------------
 
@@ -329,25 +365,8 @@ class ProgramExecutor:
                     f"visit budget exhausted ({self._max_visits})"
                 )
             visits += 1
-            ctx.read_set.add(handle)
             node = resolve(handle)
-            if node is None:
-                program.on_missing(handle, params, ctx)
-                continue
-            node.prog_state = ctx.state_for(handle, program.init_state)
-            ctx.vertices_visited += 1
-            hops = program.run(node, params, ctx)
-            if hops is None:
-                continue
-            for hop in hops:
-                if (
-                    not isinstance(hop, tuple)
-                    or len(hop) != 2
-                    or not isinstance(hop[0], str)
-                ):
-                    raise ProgramError(
-                        f"{program.name} returned a bad next-hop: {hop!r}"
-                    )
-                ctx.hops += 1
-                frontier.append(hop)
+            hops = run_entry(program, handle, params, node, ctx)
+            ctx.hops += len(hops)
+            frontier.extend(hops)
         return ProgramResult(ctx)

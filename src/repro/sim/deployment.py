@@ -531,8 +531,10 @@ class SimulatedWeaver:
         # stamped watermark; callers run it explicitly when they care.
         self.oracle.collect_below(watermark)
         # Store compaction rides the same timer, on the store's own
-        # commit counter (bounded by the oldest open store snapshot).
-        self.store.collect_below(self.store.safe_compact_version())
+        # commit counter (bounded by the oldest open store snapshot) —
+        # unless the opportunistic background compactor owns it.
+        if not getattr(self.store, "background_compaction_active", False):
+            self.store.collect_below(self.store.safe_compact_version())
         self.simulator.schedule(self.gc_period, self._gc_tick)
 
     # -- channels -------------------------------------------------------

@@ -50,6 +50,9 @@ class StoreStats:
         self.retries = 0
         #: ``collect_below`` invocations and what they reclaimed.
         self.compactions = 0
+        #: Opportunistic background-compactor passes (durable backend
+        #: with ``store_background_compaction`` enabled; else zero).
+        self.compaction_background_runs = 0
         self.records_collected = 0
         #: Cells whose only surviving record was a lone tombstone.
         self.tombstones_purged = 0

@@ -1,0 +1,144 @@
+"""The opportunistic background compactor of the durable store.
+
+Compaction moves off the GC tick onto a daemon thread
+(``store_background_compaction``): the thread compacts at
+``safe_compact_version()`` on its own cadence, open-transaction
+refcounts keep pinned snapshots readable underneath it, and the GC tick
+skips its synchronous ``collect_below`` while the thread owns
+reclamation.
+"""
+
+import time
+
+import pytest
+
+from repro.db import Weaver, WeaverClient, WeaverConfig
+from repro.errors import StoreError
+from repro.store.durable import DurableStore
+
+
+def wait_until(predicate, timeout=5.0, step=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return predicate()
+
+
+class TestBackgroundCompactor:
+    def test_runs_and_reclaims(self):
+        store = DurableStore(":memory:")
+        for i in range(8):
+            store.transact(lambda tx, i=i: tx.put("k", i))
+        store.enable_background_compaction(interval=0.005)
+        try:
+            assert store.background_compaction_active
+            assert wait_until(
+                lambda: store.stats.compaction_background_runs > 0
+            )
+            assert wait_until(lambda: store.stats.records_collected >= 7)
+        finally:
+            store.disable_background_compaction()
+        assert not store.background_compaction_active
+        # Only the newest version survives; reads still answer.
+        assert store.get("k") == 7
+
+    def test_pinned_snapshot_survives(self):
+        """An open transaction bounds what the thread may compact."""
+        store = DurableStore(":memory:")
+        store.transact(lambda tx: tx.put("k", "old"))
+        reader = store.begin()
+        store.transact(lambda tx: tx.put("k", "new"))
+        store.enable_background_compaction(interval=0.002)
+        try:
+            assert wait_until(
+                lambda: store.stats.compaction_background_runs >= 3
+            )
+            # The reader's snapshot predates "new": its read must keep
+            # answering from the pinned old record.
+            assert reader.get("k") == "old"
+        finally:
+            store.disable_background_compaction()
+        reader.abort()
+        # With the pin gone the next pass may reclaim the old version.
+        store.collect_below(store.safe_compact_version())
+        assert store.get("k") == "new"
+
+    def test_concurrent_commits_stay_consistent(self):
+        """Writer and compactor interleave on one connection safely."""
+        store = DurableStore(":memory:")
+        store.enable_background_compaction(interval=0.001)
+        try:
+            for i in range(200):
+                store.transact(lambda tx, i=i: tx.put(f"k{i % 5}", i))
+            for i in range(5):
+                assert store.get(f"k{i}") is not None
+        finally:
+            store.disable_background_compaction()
+        assert store.stats.commits == 200
+
+    def test_idempotent_enable_and_close_stops_thread(self):
+        store = DurableStore(":memory:")
+        store.enable_background_compaction(interval=0.01)
+        store.enable_background_compaction(interval=0.01)  # no-op
+        thread = store._compactor
+        store.close()
+        assert not thread.is_alive()
+        assert not store.background_compaction_active
+
+    def test_read_only_store_refuses(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        DurableStore(path).close()
+        ro = DurableStore(path, read_only=True)
+        try:
+            with pytest.raises(StoreError):
+                ro.enable_background_compaction()
+        finally:
+            ro.close()
+
+
+class TestConfigSwitch:
+    def test_off_by_default_and_counter_exported(self):
+        db = Weaver(WeaverConfig(store_backend="sqlite"))
+        snap = db.metrics.snapshot()
+        assert snap["store.compaction.background_runs"] == 0
+        assert not getattr(
+            db.store, "background_compaction_active", False
+        )
+
+    def test_gc_tick_defers_to_background_thread(self):
+        db = Weaver(
+            WeaverConfig(
+                store_backend="sqlite", store_background_compaction=True
+            )
+        )
+        try:
+            assert db.store.background_compaction_active
+            client = WeaverClient(db)
+            v = client.create_vertex()
+            for i in range(6):
+                client.set_property(v, "n", i)
+            report = db.collect_garbage()
+            # The tick skipped its synchronous store compaction...
+            assert report["store"] == 0
+            # ...and the thread reclaims the superseded versions.
+            assert wait_until(
+                lambda: db.store.stats.compaction_background_runs > 0
+            )
+            assert wait_until(
+                lambda: db.store.stats.records_collected > 0
+            )
+            snap = db.metrics.snapshot()
+            assert snap["store.compaction.background_runs"] > 0
+        finally:
+            db.store.disable_background_compaction()
+
+    def test_synchronous_compaction_without_switch(self):
+        db = Weaver(WeaverConfig(store_backend="sqlite"))
+        client = WeaverClient(db)
+        v = client.create_vertex()
+        for i in range(6):
+            client.set_property(v, "n", i)
+        report = db.collect_garbage()
+        assert report["store"] > 0

@@ -1,0 +1,73 @@
+"""Provenance rules for the archived transport bench recordings.
+
+``BENCH_transport.json`` is the evidence file for the scaling and
+shard-resident speedup claims; its numbers only mean something with the
+``cpu_count`` they were measured on.  :func:`record_bench` therefore
+refuses to let a small host's run overwrite a recording from a
+qualifying (>= 4-core) host, merges sections independently, and adopts
+the legacy flat layout in place.
+"""
+
+import json
+
+from repro.bench.transport_bench import MIN_MEANINGFUL_CORES, record_bench
+
+
+def _result(cores, **extra):
+    return {"cpu_count": cores, "speedup": 1.0, **extra}
+
+
+class TestRecordBench:
+    def test_fresh_file_records_any_host(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert record_bench(path, "resident", _result(1))
+        assert json.loads(path.read_text())["resident"]["cpu_count"] == 1
+
+    def test_small_host_cannot_overwrite_qualifying_recording(
+        self, tmp_path
+    ):
+        path = tmp_path / "bench.json"
+        assert record_bench(
+            path, "resident", _result(MIN_MEANINGFUL_CORES, speedup=2.4)
+        )
+        assert not record_bench(path, "resident", _result(1, speedup=0.6))
+        kept = json.loads(path.read_text())["resident"]
+        assert kept["cpu_count"] == MIN_MEANINGFUL_CORES
+        assert kept["speedup"] == 2.4
+
+    def test_qualifying_host_refreshes_and_small_hosts_swap_freely(
+        self, tmp_path
+    ):
+        path = tmp_path / "bench.json"
+        assert record_bench(path, "scaling", _result(1))
+        assert record_bench(path, "scaling", _result(2))  # 2 > 1: allowed
+        assert record_bench(
+            path, "scaling", _result(MIN_MEANINGFUL_CORES + 4)
+        )
+        assert record_bench(
+            path, "scaling", _result(MIN_MEANINGFUL_CORES)
+        )
+        assert json.loads(path.read_text())["scaling"]["cpu_count"] == (
+            MIN_MEANINGFUL_CORES
+        )
+
+    def test_sections_are_independent(self, tmp_path):
+        path = tmp_path / "bench.json"
+        assert record_bench(
+            path, "scaling", _result(MIN_MEANINGFUL_CORES)
+        )
+        # A 1-core resident recording lands even though the scaling
+        # section is protected.
+        assert record_bench(path, "resident", _result(1))
+        data = json.loads(path.read_text())
+        assert data["scaling"]["cpu_count"] == MIN_MEANINGFUL_CORES
+        assert data["resident"]["cpu_count"] == 1
+
+    def test_legacy_flat_layout_adopted_as_scaling_section(self, tmp_path):
+        path = tmp_path / "bench.json"
+        legacy = {"cpu_count": 1, "points": [{"shards": 1}]}
+        path.write_text(json.dumps(legacy))
+        assert record_bench(path, "resident", _result(1))
+        data = json.loads(path.read_text())
+        assert data["scaling"]["points"] == [{"shards": 1}]
+        assert data["resident"]["cpu_count"] == 1

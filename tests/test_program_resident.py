@@ -1,0 +1,379 @@
+"""Differential tests: shard-resident execution vs the image-pull path.
+
+The resident engine promises the exact observable behavior of the
+batched client-side executor — same results, same read set, same halt
+reason, hop-for-hop identical visit counts — while running every round
+at the shards and forwarding frontiers peer-to-peer.  Both paths live
+behind the same ``run_program`` entry point on one :class:`ProcessWeaver`
+(``config.program_execution`` picks per call), so each comparison runs
+against literally the same worker processes and the same snapshot.
+
+Covered axes: library programs × seeded multi-shard graphs × historical
+``at=`` reads × the shard-side program cache × a SIGKILL/recover epoch
+boundary.  ``TestResidentSmoke`` doubles as the CI transport-smoke
+entry (2 workers, BFS + cached re-run, trace-chain assertion).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.process import ProcessWeaver
+from repro.db import WeaverConfig
+from repro.programs.library import (
+    Bfs,
+    ClusteringCoefficient,
+    CollectReachable,
+    GetNode,
+    PathDiscovery,
+    Reachability,
+    ShortestPath,
+    params,
+)
+
+
+def build_graph(db, num_vertices, avg_degree, seed):
+    """Seeded random graph, loaded through ordinary transactions."""
+    rng = random.Random(seed)
+    handles = [f"v{i}" for i in range(num_vertices)]
+    tx = db.begin_transaction()
+    for handle in handles:
+        tx.create_vertex(handle)
+    tx.commit()
+    tx = db.begin_transaction()
+    for src in handles:
+        for _ in range(avg_degree):
+            dst = handles[rng.randrange(num_vertices)]
+            if dst != src:
+                tx.create_edge(src, dst)
+    tx.commit()
+    db.drain()
+    return handles
+
+
+def _run_both(db, make_program, start, point, **kwargs):
+    """Execute the same program resident and image-pull at ``point``."""
+    db.config.program_execution = "resident"
+    try:
+        resident = db.run_program(
+            make_program(), list(start), at=point, **kwargs
+        )
+        db.config.program_execution = "images"
+        images = db.run_program(
+            make_program(), list(start), at=point, **kwargs
+        )
+    finally:
+        db.config.program_execution = "resident"
+    return resident, images
+
+
+def _assert_equivalent(resident, images):
+    assert resident.results == images.results
+    assert resident.read_set == images.read_set
+    assert sorted(resident.states) == sorted(images.states)
+    assert resident.halted == images.halted
+    # Both paths apply the same same-round hop dedup, so the raw counts
+    # match exactly, not just the distinct-visited sets.
+    assert resident.vertices_visited == images.vertices_visited
+    assert resident.hops == images.hops
+
+
+@pytest.fixture(scope="module", params=[3, 21, 99])
+def graph(request):
+    config = WeaverConfig(
+        num_shards=3,
+        num_gatekeepers=2,
+        partitioner="hash",
+        enable_program_cache=True,
+    )
+    with ProcessWeaver(config) as db:
+        handles = build_graph(db, 60, 4, seed=request.param)
+        yield db, handles, db.checkpoint()
+
+
+CASES = [
+    ("bfs", Bfs, lambda h: [(h[0], params(depth=0))]),
+    (
+        "bfs_depth_limited",
+        Bfs,
+        lambda h: [(h[0], params(depth=0, max_depth=3))],
+    ),
+    ("collect", CollectReachable, lambda h: [(h[0], params())]),
+    (
+        "reachable_hit",
+        Reachability,
+        lambda h: [(h[0], params(target=h[-1]))],
+    ),
+    (
+        "reachable_miss",
+        Reachability,
+        lambda h: [(h[0], params(target="no-such-vertex"))],
+    ),
+    (
+        "shortest_path",
+        ShortestPath,
+        lambda h: [(h[0], params(target=h[len(h) // 2], dist=0))],
+    ),
+    (
+        "path_discovery",
+        PathDiscovery,
+        lambda h: [(h[0], params(target=h[-1]))],
+    ),
+    ("clustering", ClusteringCoefficient, lambda h: [(h[0], params())]),
+    ("get_node", GetNode, lambda h: [(h[0], None)]),
+    (
+        "multi_start",
+        Bfs,
+        lambda h: [(h[0], params(depth=0)), (h[-1], params(depth=0))],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "prog, make_start",
+    [case[1:] for case in CASES],
+    ids=[case[0] for case in CASES],
+)
+def test_library_programs_match_image_pull(graph, prog, make_start):
+    db, handles, point = graph
+    resident, images = _run_both(db, prog, make_start(handles), point)
+    _assert_equivalent(resident, images)
+
+
+def test_resident_path_actually_ran_at_the_shards(graph):
+    """The parity above is only meaningful if the resident runs really
+    bypassed the client-side executor."""
+    db, handles, point = graph
+    before = db.executor.stats.batch_rounds
+    db.config.program_execution = "resident"
+    result = db.run_program(Bfs(), handles[0], params(depth=0), at=point)
+    assert result.rounds > 0
+    assert db.executor.stats.batch_rounds == before  # no client rounds
+    snap = db.metrics.snapshot()
+    assert snap["program.resident.programs_coordinated"] > 0
+    assert snap["program.resident.rounds_executed"] > 0
+    # Cross-shard traversal on a 3-shard hash partition must forward.
+    assert snap["program.resident.forwards_sent"] > 0
+
+
+class ConfiguredBfs(Bfs):
+    """Not in the registry: resident shipping would lose instance state."""
+
+    name = "configured_bfs"
+
+    def __init__(self, flavor):
+        self.flavor = flavor
+
+
+def test_ineligible_program_falls_back_to_image_pull(graph):
+    db, handles, point = graph
+    db.config.program_execution = "resident"
+    before = db.executor.stats.batch_rounds
+    result = db.run_program(
+        ConfiguredBfs("x"), handles[0], params(depth=0), at=point
+    )
+    # The client-side executor ran it (round counter moved) and the
+    # answer matches the stock program's.
+    assert db.executor.stats.batch_rounds > before
+    stock = db.run_program(Bfs(), handles[0], params(depth=0), at=point)
+    assert result.results == stock.results
+    assert result.read_set == stock.read_set
+
+
+class TestHistoricalReads:
+    """Resident ≡ image-pull at every snapshot — and the snapshots are
+    really distinct cuts of the graph."""
+
+    def test_both_paths_agree_at_both_checkpoints(self):
+        config = WeaverConfig(
+            num_shards=3, num_gatekeepers=2, partitioner="hash"
+        )
+        with ProcessWeaver(config) as db:
+            tx = db.begin_transaction()
+            for h in "abcdefg":
+                tx.create_vertex(h)
+            edges = {}
+            for src, dst in [
+                ("a", "b"), ("a", "c"), ("b", "d"),
+                ("c", "e"), ("d", "f"), ("e", "g"),
+            ]:
+                edges[(src, dst)] = tx.create_edge(src, dst)
+            tx.commit()
+            point1 = db.checkpoint()
+
+            tx = db.begin_transaction()
+            tx.delete_edge("b", edges[("b", "d")])
+            tx.create_vertex("h")
+            tx.create_edge("a", "h")
+            tx.commit()
+            point2 = db.checkpoint()
+
+            start = [("a", params(depth=0))]
+            old_resident, old_images = _run_both(db, Bfs, start, point1)
+            _assert_equivalent(old_resident, old_images)
+            new_resident, new_images = _run_both(db, Bfs, start, point2)
+            _assert_equivalent(new_resident, new_images)
+
+            # The mutation separated the two cuts for the resident path
+            # just as it does for image pulls.
+            assert "d" in old_resident.results
+            assert "h" not in old_resident.results
+            assert "h" in new_resident.results
+            assert "d" not in new_resident.results
+
+
+class TestResidentProgramCache:
+    """Section 4.6 shard-side: memoized results revalidate against
+    change counters on every fragment before being served."""
+
+    def _db(self):
+        config = WeaverConfig(
+            num_shards=2,
+            num_gatekeepers=2,
+            partitioner="hash",
+            enable_program_cache=True,
+        )
+        db = ProcessWeaver(config)
+        tx = db.begin_transaction()
+        for h in "abc":
+            tx.create_vertex(h)
+        tx.create_edge("a", "b")
+        tx.create_edge("b", "c")
+        tx.commit()
+        db.drain()
+        return db
+
+    def test_cache_hit_matches_and_is_traced(self):
+        with self._db() as db:
+            prm = params(depth=0)
+            first = db.run_program(Bfs(), "a", prm, use_cache=True)
+            runs_before = db.programs_run
+            hit = db.run_program(Bfs(), "a", prm, use_cache=True)
+            assert hit.results == first.results
+            assert hit.read_set == first.read_set
+            assert db.programs_run == runs_before + 1
+            completes = db.tracer.spans(kind="program.complete")
+            assert completes[-1].attr("cache_hit") is True
+            assert completes[-2].attr("cache_hit") is None
+            snap = db.metrics.snapshot()
+            assert snap["program.resident.cache_hits"] >= 1
+
+    def test_write_to_read_set_invalidates(self):
+        with self._db() as db:
+            prm = params(depth=0)
+            db.run_program(Bfs(), "a", prm, use_cache=True)
+            # Mutate a vertex the program read: its shard's change
+            # counter moves, so revalidation must refuse the entry.
+            tx = db.begin_transaction()
+            tx.create_vertex("d")
+            tx.create_edge("b", "d")
+            tx.commit()
+            db.drain()
+            fresh = db.run_program(Bfs(), "a", prm, use_cache=True)
+            assert "d" in fresh.results
+            completes = db.tracer.spans(kind="program.complete")
+            assert completes[-1].attr("cache_hit") is None
+
+    def test_historical_entries_keyed_by_snapshot(self):
+        with self._db() as db:
+            point1 = db.checkpoint()
+            tx = db.begin_transaction()
+            tx.create_vertex("d")
+            tx.create_edge("a", "d")
+            tx.commit()
+            db.drain()
+            prm = params(depth=0)
+            current = db.run_program(Bfs(), "a", prm, use_cache=True)
+            assert "d" in current.results
+            historical = db.run_program(
+                Bfs(), "a", prm, at=point1, use_cache=True
+            )
+            assert set(historical.results) == {"a", "b", "c"}
+            # Each snapshot serves its own entry; neither cross-serves.
+            assert db.run_program(
+                Bfs(), "a", prm, at=point1, use_cache=True
+            ).results == historical.results
+            assert db.run_program(
+                Bfs(), "a", prm, use_cache=True
+            ).results == current.results
+
+
+class TestKillRecoverParity:
+    """The differential holds across a SIGKILL/recover epoch boundary:
+    the replacement worker rejoins the peer mesh and the resident path
+    still matches image pulls on the recovered partition."""
+
+    def test_resident_matches_images_after_recovery(self):
+        config = WeaverConfig(
+            num_shards=3, num_gatekeepers=2, partitioner="hash"
+        )
+        with ProcessWeaver(config) as db:
+            handles = build_graph(db, 30, 3, seed=7)
+            point = db.checkpoint()
+            start = [(handles[0], params(depth=0))]
+            before_resident, before_images = _run_both(
+                db, Bfs, start, point
+            )
+            _assert_equivalent(before_resident, before_images)
+
+            db.kill_shard_worker(0)
+            db.recover_shard(0)
+            assert db.recoveries == 1
+
+            after_point = db.checkpoint()
+            after_resident, after_images = _run_both(
+                db, Bfs, start, after_point
+            )
+            _assert_equivalent(after_resident, after_images)
+            # The graph is static, so the recovered partition must
+            # reproduce the pre-kill answer bit for bit.
+            assert after_resident.results == before_resident.results
+            assert after_resident.read_set == before_resident.read_set
+
+
+class TestResidentSmoke:
+    """CI transport-smoke entry: 2 workers, BFS + cached re-run, and
+    the trace chain crosses the process boundary intact."""
+
+    def test_bfs_cached_rerun_and_trace_chain(self):
+        config = WeaverConfig(
+            num_shards=2,
+            num_gatekeepers=2,
+            partitioner="hash",
+            enable_program_cache=True,
+        )
+        with ProcessWeaver(config) as db:
+            tx = db.begin_transaction()
+            handles = [tx.create_vertex(f"s{i}") for i in range(12)]
+            for i in range(1, 12):
+                tx.create_edge(handles[(i - 1) // 2], handles[i])
+            tx.commit()
+            db.drain()
+
+            prm = params(depth=0)
+            result = db.run_program(Bfs(), "s0", prm, use_cache=True)
+            assert sorted(result.results) == sorted(
+                f"s{i}" for i in range(12)
+            )
+
+            # The whole pipeline rode one trace id: submit and stamp at
+            # the client, rounds at the workers, completion back home.
+            tid = db.tracer.spans(kind="program.submit")[-1].trace_id
+            chain = db.tracer.spans(trace_id=tid)
+            kinds = [span.kind for span in chain]
+            assert kinds[0] == "program.submit"
+            assert "program.stamp" in kinds
+            assert kinds[-1] == "program.complete"
+            rounds = [s for s in chain if s.kind == "program.round"]
+            assert rounds, "no worker round spans crossed the wire"
+            assert all(
+                span.node in ("shard0", "shard1") for span in rounds
+            )
+
+            # Cached re-run: served from the shard-side cache.
+            hit = db.run_program(Bfs(), "s0", prm, use_cache=True)
+            assert hit.results == result.results
+            last = db.tracer.spans(kind="program.complete")[-1]
+            assert last.attr("cache_hit") is True

@@ -15,9 +15,11 @@ import pytest
 from repro.cluster import wire
 from repro.cluster.messages import (
     AnnounceMessage,
+    FrontierForward,
     Heartbeat,
     ProgramRequest,
     ProgramResponse,
+    ProgramStart,
     QueuedTransaction,
 )
 from repro.core.vclock import Ordering, VectorTimestamp
@@ -27,7 +29,7 @@ from repro.db import operations as ops
 # change here means old frames no longer decode the same way — bump
 # wire.WIRE_VERSION, update WIRE_SCHEMA, and re-pin this value.
 GOLDEN_SCHEMA_DIGEST = (
-    "571f7770bd15984cf21bd67312c1fb638900993fb279d9bd177396759bb12059"
+    "02bc46d2655ff795af1312ee821ff683ac4da96fc70de3299896a324a845767a"
 )
 
 TS = VectorTimestamp(epoch=2, clocks=(3, 1, 4), issuer=1)
@@ -53,6 +55,12 @@ ALL_MESSAGES = [
                    trace_id=12),
     ProgramRequest(TS, 6, ()),  # trace_id defaults to None
     ProgramResponse(5, [("v2", None)], ["v1", {"k": (1, 2)}]),
+    ProgramStart(TS, 7, "bfs",
+                 (((0,), "v1", SimpleNamespace(depth=0)),
+                  ((1,), "v2", None)),
+                 trace_id=3, cache_tail=("repr", 9), max_visits=100),
+    ProgramStart(TS2, 8, "reachability", ()),  # defaults everywhere
+    FrontierForward(7, 2, (((0, 1, 0), "v2", None),)),
     Heartbeat("shard0", 3, 1.25),
 ]
 

@@ -44,6 +44,10 @@ ABSORBED = {
     # Geo deployments only: registered when num_regions > 1, so the
     # single-region golden metric surface stays unchanged.
     "RegionStats": "region.<r>.*",
+    # Shard-resident program engine: worker-side counters summed by the
+    # client's _process_metrics collector (program.resident.*, plus the
+    # peer-channel TransportStats as transport.worker.*).
+    "ResidentStats": "program.resident.*",
 }
 
 # Deliberately outside the registry, with the reason on record.
